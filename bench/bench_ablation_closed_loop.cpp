@@ -1,0 +1,90 @@
+// Ablation: open-loop vs closed-loop clients under worst-attack-2.
+//
+// The paper restricts RBFT to open-loop systems (§II) precisely because a
+// closed loop lets a delaying master primary throttle the *offered* load:
+// backup instances then pace down with the master, the monitored
+// throughput ratio stays ≥ Δ, and the attack is invisible to the
+// monitoring while every client's latency suffers.  This bench
+// demonstrates that reasoning quantitatively (and is the motivation for
+// the paper's closed-loop future work, §VII).
+#include "attacks/attacks.hpp"
+#include "bench_util.hpp"
+#include "workload/closed_loop.hpp"
+
+namespace rbft::bench {
+namespace {
+
+struct ClosedLoopResult {
+    double kreq_s = 0.0;
+    double mean_ms = 0.0;
+    std::uint64_t instance_changes = 0;
+};
+
+ClosedLoopResult run_closed_loop(bool attack) {
+    core::ClusterConfig cfg;
+    cfg.seed = 21;
+    core::Cluster cluster(cfg);
+    std::unique_ptr<attacks::WorstAttack2> a2;
+    if (attack) {
+        a2 = std::make_unique<attacks::WorstAttack2>(cluster);
+        a2->install();
+    }
+    cluster.start();
+    if (a2) a2->start();
+
+    // 20 closed-loop clients, window 8 each: offered load tracks service rate.
+    std::vector<std::unique_ptr<workload::ClientEndpoint>> endpoints;
+    std::vector<std::unique_ptr<workload::ClosedLoopClient>> loops;
+    for (std::uint32_t c = 0; c < 20; ++c) {
+        endpoints.push_back(std::make_unique<workload::ClientEndpoint>(
+            ClientId{c}, cluster.simulator(), cluster.network(), cluster.keys(), cfg.n(),
+            cfg.f));
+        loops.push_back(std::make_unique<workload::ClosedLoopClient>(*endpoints.back(), 8,
+                                                                     cluster.simulator()));
+    }
+    for (auto& loop : loops) loop->start();
+    cluster.simulator().run_for(seconds(4.0));
+
+    ClosedLoopResult result;
+    const auto window = exp::measure_window(endpoints, TimePoint{} + seconds(1.0),
+                                            TimePoint{} + seconds(4.0));
+    result.kreq_s = window.kreq_s;
+    result.mean_ms = window.mean_latency_ms;
+    for (std::uint32_t i = 0; i < cluster.node_count(); ++i) {
+        if (!cluster.node(i).faulty()) {
+            result.instance_changes += cluster.node(i).stats().instance_changes_done;
+        }
+    }
+    return result;
+}
+
+void closed_loop_attack2(benchmark::State& state) {
+    ClosedLoopResult fault_free, attacked;
+    for (auto _ : state) {
+        fault_free = run_closed_loop(false);
+        attacked = run_closed_loop(true);
+    }
+    const double relative =
+        fault_free.kreq_s > 0 ? 100.0 * attacked.kreq_s / fault_free.kreq_s : 0.0;
+    state.counters["relative_pct"] = relative;
+    state.counters["instance_changes"] = static_cast<double>(attacked.instance_changes);
+    add_row("ClosedLoop fault-free", {{"kreq_s", fault_free.kreq_s},
+                                      {"mean_ms", fault_free.mean_ms}});
+    add_row("ClosedLoop worst-attack-2", {{"kreq_s", attacked.kreq_s},
+                                          {"mean_ms", attacked.mean_ms},
+                                          {"relative_pct", relative},
+                                          {"instance_changes",
+                                           static_cast<double>(attacked.instance_changes)}});
+}
+
+void register_benches() {
+    benchmark::RegisterBenchmark("Ablation/closed-loop-attack2", closed_loop_attack2)
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+}
+const bool registered = (register_benches(), true);
+
+}  // namespace
+}  // namespace rbft::bench
+
+RBFT_BENCH_MAIN("Ablation: closed-loop clients under worst-attack-2 (the paper's open-loop rationale)")

@@ -1,0 +1,47 @@
+// Figure 11: throughput measured by the monitoring module of each correct
+// node under worst-attack-2 (f = 1, static load, 4 kB requests): master vs
+// backup protocol instance.  Paper: the malicious master primary keeps the
+// master throughput just at the Δ threshold, so the bars are almost equal
+// and no instance change triggers.
+#include "bench_util.hpp"
+
+namespace rbft::bench {
+namespace {
+
+void fig11(benchmark::State& state) {
+    exp::ScenarioOutput attacked;
+    for (auto _ : state) {
+        exp::RbftScenario scenario;
+        scenario.payload_bytes = 4096;
+        scenario.load = exp::LoadShape::kStatic;
+        scenario.attack = exp::RbftScenario::Attack::kWorst2;
+        scenario.warmup = seconds(1.0);
+        scenario.measure = seconds(3.0);
+        attacked = run_rbft(scenario);
+    }
+    for (std::size_t i = 0; i < attacked.node_throughputs.size(); ++i) {
+        const auto [master, backup] = attacked.node_throughputs[i];
+        char label[64];
+        std::snprintf(label, sizeof(label), "Fig11 node%zu", i + 1);  // node0 is faulty
+        add_row(label, {{"master_kreq_s", master},
+                        {"backup_kreq_s", backup},
+                        {"ratio", backup > 0 ? master / backup : 0.0}});
+        if (i == 0) {
+            state.counters["master_kreq_s"] = master;
+            state.counters["backup_kreq_s"] = backup;
+        }
+    }
+    state.counters["instance_changes"] = static_cast<double>(attacked.instance_changes);
+}
+
+void register_benches() {
+    benchmark::RegisterBenchmark("Fig11/monitoring", fig11)
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+}
+const bool registered = (register_benches(), true);
+
+}  // namespace
+}  // namespace rbft::bench
+
+RBFT_BENCH_MAIN("Figure 11: per-node monitored throughput, worst-attack-2 (kreq/s)")

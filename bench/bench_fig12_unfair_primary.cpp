@@ -1,0 +1,96 @@
+// Figure 12: ordering latencies for the requests of two clients on the
+// master protocol instance with an unfair primary (f = 1, 4 kB requests,
+// Λ = 1.5 ms).
+//
+// Timeline (paper §VI-C3): the malicious primary is fair for the first 500
+// requests (~0.8 ms), then delays the attacked client's requests so its
+// average latency rises (~1.3 ms) for 500 more, then delays harder; the
+// first request beyond Λ = 1.5 ms makes the nodes vote a protocol instance
+// change, the primary is replaced, and both clients see fair latency again.
+#include "attacks/attacks.hpp"
+#include "bench_util.hpp"
+#include "workload/load.hpp"
+
+namespace rbft::bench {
+namespace {
+
+void fig12(benchmark::State& state) {
+    core::ClusterConfig cfg;
+    cfg.batch_delay = milliseconds(0.3);  // low-load setup: small batches
+    cfg.monitoring.lambda = milliseconds(1.5);   // Λ
+    cfg.monitoring.omega = seconds(10.0);        // Ω set high on purpose
+    Series victim, other;
+    std::uint64_t instance_changes = 0;
+
+    for (auto _ : state) {
+        core::Cluster cluster(cfg);
+        attacks::UnfairPrimary attack(cluster);
+        attack.install();
+        cluster.start();
+
+        workload::ClientBehavior behavior;
+        behavior.payload_bytes = 4096;
+        auto clients = exp::make_clients(cluster.simulator(), cluster.network(), cluster.keys(),
+                                         cfg.n(), cfg.f, 2, behavior);
+        workload::LoadGenerator load(cluster.simulator(), exp::client_ptrs(clients),
+                                     workload::LoadSpec::constant(1000.0, seconds(3.2), 2),
+                                     Rng(7));
+        load.start();
+        cluster.simulator().run_for(seconds(3.5));
+
+        // Ordering latencies recorded by a correct node's monitoring module.
+        victim = cluster.node(1).master_latency_series(ClientId{0});
+        other = cluster.node(1).master_latency_series(ClientId{1});
+        for (std::uint32_t i = 0; i < cluster.node_count(); ++i) {
+            instance_changes += cluster.node(i).stats().instance_changes_done;
+        }
+    }
+
+    // Print the series the paper plots, downsampled, plus stage means.
+    auto stage_mean = [](const Series& s, std::size_t from, std::size_t to) {
+        double sum = 0.0;
+        std::size_t n = 0;
+        for (std::size_t i = from; i < to && i < s.points.size(); ++i, ++n) {
+            sum += s.points[i].second;
+        }
+        return n ? sum / static_cast<double>(n) : 0.0;
+    };
+    double peak = 0.0;
+    std::size_t peak_at = 0;
+    for (std::size_t i = 0; i < victim.points.size(); ++i) {
+        if (victim.points[i].second > peak) {
+            peak = victim.points[i].second;
+            peak_at = i;
+        }
+    }
+    add_row("Fig12 attacked client  req 1-500", {{"mean_ms", stage_mean(victim, 0, 500)}});
+    add_row("Fig12 attacked client  req 500-1000", {{"mean_ms", stage_mean(victim, 500, 1000)}});
+    add_row("Fig12 attacked client  peak", {{"latency_ms", peak},
+                                            {"at_request", static_cast<double>(peak_at)}});
+    add_row("Fig12 attacked client  after change",
+            {{"mean_ms", stage_mean(victim, peak_at + 50, victim.points.size())}});
+    add_row("Fig12 other client     overall",
+            {{"mean_ms", stage_mean(other, 0, other.points.size())}});
+    add_row("Fig12 instance changes", {{"count", static_cast<double>(instance_changes)}});
+
+    std::printf("# Fig12 series (request#, latency ms), every 25th point:\n");
+    for (std::size_t i = 0; i < victim.points.size(); i += 25) {
+        std::printf("  attacked %5.0f %.3f\n", victim.points[i].first, victim.points[i].second);
+    }
+
+    state.counters["peak_latency_ms"] = peak;
+    state.counters["instance_changes"] = static_cast<double>(instance_changes);
+    state.counters["baseline_ms"] = stage_mean(victim, 0, 500);
+}
+
+void register_benches() {
+    benchmark::RegisterBenchmark("Fig12/unfair-primary", fig12)
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+}
+const bool registered = (register_benches(), true);
+
+}  // namespace
+}  // namespace rbft::bench
+
+RBFT_BENCH_MAIN("Figure 12: per-request ordering latency with an unfair primary")

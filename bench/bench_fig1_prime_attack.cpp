@@ -1,0 +1,58 @@
+// Figure 1: Prime throughput under attack relative to the fault-free
+// throughput, as a function of request size, for a static and a dynamic
+// load (paper §III-A).
+//
+// Workload: every request costs 0.1 ms to execute; the attack adds a faulty
+// client streaming 1 ms requests, which inflates the RTTs the replicas
+// monitor; the malicious primary then spaces its ORDER messages just under
+// the loosened delay bound.
+#include "bench_util.hpp"
+
+namespace rbft::bench {
+namespace {
+
+void prime_point(benchmark::State& state) {
+    const auto payload = static_cast<std::size_t>(state.range(0));
+    const auto load = static_cast<exp::LoadShape>(state.range(1));
+
+    exp::ScenarioOutput fault_free, attacked;
+    for (auto _ : state) {
+        exp::BaselineScenario scenario;
+        scenario.protocol = exp::Protocol::kPrime;
+        scenario.payload_bytes = payload;
+        scenario.exec_cost = milliseconds(0.1);  // §III-A: 0.1 ms vs 1 ms
+        scenario.load = load;
+        scenario.attack = false;
+        fault_free = run_baseline(scenario);
+        scenario.attack = true;
+        attacked = run_baseline(scenario);
+    }
+    const double relative = exp::relative_percent(attacked, fault_free);
+    state.counters["relative_pct"] = relative;
+    state.counters["faultfree_kreq_s"] = fault_free.result.kreq_s;
+    state.counters["attacked_kreq_s"] = attacked.result.kreq_s;
+
+    char label[96];
+    std::snprintf(label, sizeof(label), "Fig1 Prime %-7s payload=%zuB", load_name(load), payload);
+    add_row(label, {{"relative_pct", relative},
+                    {"ff_kreq_s", fault_free.result.kreq_s},
+                    {"attacked_kreq_s", attacked.result.kreq_s}});
+}
+
+void register_benches() {
+    for (long payload : {8L, 1024L, 2048L, 4096L}) {
+        for (long load : {0L, 1L}) {
+            benchmark::RegisterBenchmark("Fig1/Prime", prime_point)
+                ->Args({payload, load})
+                ->ArgNames({"payload", "dynamic"})
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+}
+const bool registered = (register_benches(), true);
+
+}  // namespace
+}  // namespace rbft::bench
+
+RBFT_BENCH_MAIN("Figure 1: Prime relative throughput under attack (%)")

@@ -1,0 +1,57 @@
+// Figure 3: Spinning throughput under attack relative to the fault-free
+// throughput, vs request size, static and dynamic load (paper §III-C).
+//
+// The malicious primary delays its ordering message by a little less than
+// Stimeout (the authors' value: 40 ms) every time its turn comes, stalling
+// the rotation pipeline without ever being blacklisted.
+#include "bench_util.hpp"
+
+namespace rbft::bench {
+namespace {
+
+void spinning_point(benchmark::State& state) {
+    const auto payload = static_cast<std::size_t>(state.range(0));
+    const auto load = static_cast<exp::LoadShape>(state.range(1));
+
+    exp::ScenarioOutput fault_free, attacked;
+    for (auto _ : state) {
+        exp::BaselineScenario scenario;
+        scenario.protocol = exp::Protocol::kSpinning;
+        scenario.payload_bytes = payload;
+        scenario.load = load;
+        scenario.attack = false;
+        fault_free = run_baseline(scenario);
+        scenario.attack = true;
+        attacked = run_baseline(scenario);
+    }
+    const double relative = exp::relative_percent(attacked, fault_free);
+    state.counters["relative_pct"] = relative;
+    state.counters["faultfree_kreq_s"] = fault_free.result.kreq_s;
+    state.counters["attacked_kreq_s"] = attacked.result.kreq_s;
+    state.counters["blacklist_timeouts"] = static_cast<double>(attacked.view_changes);
+
+    char label[96];
+    std::snprintf(label, sizeof(label), "Fig3 Spinning %-7s payload=%zuB", load_name(load),
+                  payload);
+    add_row(label, {{"relative_pct", relative},
+                    {"ff_kreq_s", fault_free.result.kreq_s},
+                    {"attacked_kreq_s", attacked.result.kreq_s}});
+}
+
+void register_benches() {
+    for (long payload : {8L, 1024L, 2048L, 4096L}) {
+        for (long load : {0L, 1L}) {
+            benchmark::RegisterBenchmark("Fig3/Spinning", spinning_point)
+                ->Args({payload, load})
+                ->ArgNames({"payload", "dynamic"})
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+}
+const bool registered = (register_benches(), true);
+
+}  // namespace
+}  // namespace rbft::bench
+
+RBFT_BENCH_MAIN("Figure 3: Spinning relative throughput under attack (%)")

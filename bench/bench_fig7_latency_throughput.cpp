@@ -1,0 +1,81 @@
+// Figure 7: latency vs throughput in the fault-free case, for requests of
+// 8 B (7a) and 4 kB (7b), comparing RBFT/TCP, RBFT/UDP, Prime, Aardvark and
+// Spinning at f = 1 (paper §VI-B).
+//
+// Each point offers a fraction of the protocol's calibrated capacity and
+// reports (completed kreq/s, mean latency ms) — the series the paper plots.
+#include "bench_util.hpp"
+
+namespace rbft::bench {
+namespace {
+
+constexpr double kFractions[] = {0.2, 0.4, 0.6, 0.75, 0.9, 1.0};
+
+const char* protocol_name(exp::Protocol protocol) {
+    switch (protocol) {
+        case exp::Protocol::kRbftTcp: return "RBFT-TCP";
+        case exp::Protocol::kRbftUdp: return "RBFT-UDP";
+        case exp::Protocol::kAardvark: return "Aardvark";
+        case exp::Protocol::kSpinning: return "Spinning";
+        case exp::Protocol::kPrime: return "Prime";
+    }
+    return "?";
+}
+
+void fig7_point(benchmark::State& state) {
+    const auto protocol = static_cast<exp::Protocol>(state.range(0));
+    const auto payload = static_cast<std::size_t>(state.range(1));
+    const double fraction = static_cast<double>(state.range(2)) / 100.0;
+    const double rate = fraction * exp::capacity(protocol, payload) * 0.95;
+
+    exp::ScenarioOutput out;
+    for (auto _ : state) {
+        if (protocol == exp::Protocol::kRbftTcp || protocol == exp::Protocol::kRbftUdp) {
+            exp::RbftScenario scenario;
+            scenario.use_udp = protocol == exp::Protocol::kRbftUdp;
+            scenario.payload_bytes = payload;
+            scenario.rate = rate;
+            scenario.warmup = seconds(0.6);
+            scenario.measure = seconds(1.4);
+            out = run_rbft(scenario);
+        } else {
+            exp::BaselineScenario scenario;
+            scenario.protocol = protocol;
+            scenario.payload_bytes = payload;
+            scenario.rate = rate;
+            scenario.warmup = seconds(0.6);
+            scenario.measure = seconds(1.4);
+            out = run_baseline(scenario);
+        }
+    }
+    state.counters["kreq_s"] = out.result.kreq_s;
+    state.counters["mean_ms"] = out.result.mean_latency_ms;
+    state.counters["p99_ms"] = out.result.p99_ms;
+
+    char label[96];
+    std::snprintf(label, sizeof(label), "Fig7 %-9s payload=%zuB offered=%.1fk",
+                  protocol_name(protocol), payload, rate / 1000.0);
+    add_row(label, {{"kreq_s", out.result.kreq_s},
+                    {"mean_ms", out.result.mean_latency_ms},
+                    {"p99_ms", out.result.p99_ms}});
+}
+
+void register_benches() {
+    for (long protocol : {0L, 1L, 2L, 3L, 4L}) {  // enum order
+        for (long payload : {8L, 4096L}) {
+            for (double fraction : kFractions) {
+                benchmark::RegisterBenchmark("Fig7/point", fig7_point)
+                    ->Args({protocol, payload, static_cast<long>(fraction * 100)})
+                    ->ArgNames({"proto", "payload", "loadpct"})
+                    ->Iterations(1)
+                    ->Unit(benchmark::kMillisecond);
+            }
+        }
+    }
+}
+const bool registered = (register_benches(), true);
+
+}  // namespace
+}  // namespace rbft::bench
+
+RBFT_BENCH_MAIN("Figure 7: latency vs throughput, fault-free, f=1")

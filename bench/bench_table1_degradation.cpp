@@ -1,0 +1,94 @@
+// Table I: maximum throughput degradation of the "robust" BFT protocols
+// under attack (paper: Prime 78%, Aardvark 87%, Spinning 99%) — plus RBFT
+// under its own worst attacks for comparison (paper: ~3%).
+//
+// Each protocol is measured in its worst configuration (found by the Fig.
+// 1-3 sweeps): Prime under a static saturated load of small requests with
+// the RTT-inflation attack; Aardvark under the dynamic load (low-load
+// expectations exploited during the spike); Spinning under the static load
+// with the Stimeout-delay attack.
+#include "bench_util.hpp"
+
+namespace rbft::bench {
+namespace {
+
+double baseline_degradation(exp::Protocol protocol, exp::LoadShape load,
+                            std::size_t payload, Duration exec) {
+    exp::BaselineScenario scenario;
+    scenario.protocol = protocol;
+    scenario.payload_bytes = payload;
+    scenario.exec_cost = exec;
+    scenario.load = load;
+    if (protocol == exp::Protocol::kAardvark) {
+        scenario.warmup = seconds(2.0);
+        scenario.measure = seconds(4.0);
+    }
+    scenario.attack = false;
+    const auto fault_free = run_baseline(scenario);
+    scenario.attack = true;
+    const auto attacked = run_baseline(scenario);
+    return 100.0 - exp::relative_percent(attacked, fault_free);
+}
+
+void prime_worst(benchmark::State& state) {
+    double degradation = 0.0;
+    for (auto _ : state) {
+        degradation = baseline_degradation(exp::Protocol::kPrime, exp::LoadShape::kStatic, 8,
+                                           milliseconds(0.1));
+    }
+    state.counters["max_degradation_pct"] = degradation;
+    add_row("TableI Prime    (paper: 78%)", {{"max_degradation_pct", degradation}});
+}
+
+void aardvark_worst(benchmark::State& state) {
+    double degradation = 0.0;
+    for (auto _ : state) {
+        // Worst configuration found by the Fig. 2 sweep: small requests
+        // under the dynamic load (the spike-to-trickle ratio is largest).
+        degradation =
+            baseline_degradation(exp::Protocol::kAardvark, exp::LoadShape::kDynamic, 8, {});
+    }
+    state.counters["max_degradation_pct"] = degradation;
+    add_row("TableI Aardvark (paper: 87%)", {{"max_degradation_pct", degradation}});
+}
+
+void spinning_worst(benchmark::State& state) {
+    double degradation = 0.0;
+    for (auto _ : state) {
+        degradation =
+            baseline_degradation(exp::Protocol::kSpinning, exp::LoadShape::kStatic, 8, {});
+    }
+    state.counters["max_degradation_pct"] = degradation;
+    add_row("TableI Spinning (paper: 99%)", {{"max_degradation_pct", degradation}});
+}
+
+void rbft_worst(benchmark::State& state) {
+    double worst = 0.0;
+    for (auto _ : state) {
+        for (auto attack : {exp::RbftScenario::Attack::kWorst1,
+                            exp::RbftScenario::Attack::kWorst2}) {
+            exp::RbftScenario scenario;
+            scenario.payload_bytes = 8;
+            scenario.attack = exp::RbftScenario::Attack::kNone;
+            const auto fault_free = run_rbft(scenario);
+            scenario.attack = attack;
+            const auto attacked = run_rbft(scenario);
+            worst = std::max(worst, 100.0 - exp::relative_percent(attacked, fault_free));
+        }
+    }
+    state.counters["max_degradation_pct"] = worst;
+    add_row("TableI RBFT     (paper: ~3%)", {{"max_degradation_pct", worst}});
+}
+
+void register_benches() {
+    benchmark::RegisterBenchmark("TableI/Prime", prime_worst)->Iterations(1)->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark("TableI/Aardvark", aardvark_worst)->Iterations(1)->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark("TableI/Spinning", spinning_worst)->Iterations(1)->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark("TableI/RBFT", rbft_worst)->Iterations(1)->Unit(benchmark::kMillisecond);
+}
+const bool registered = (register_benches(), true);
+
+}  // namespace
+}  // namespace rbft::bench
+
+RBFT_BENCH_MAIN("Table I: maximum throughput degradation under attack (%)")

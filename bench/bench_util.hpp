@@ -1,0 +1,63 @@
+// Shared scaffolding for the paper-reproduction benches.
+//
+// Each bench binary registers one google-benchmark entry per experimental
+// point (Iterations(1): a point is one deterministic simulation, not a
+// timing sample), attaches the measured quantities as counters, and prints
+// the paper-style table/series after the run.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "exp/runners.hpp"
+
+namespace rbft::bench {
+
+/// One collected row for the summary printed after the benchmarks run.
+struct Row {
+    std::string label;
+    std::vector<std::pair<std::string, double>> values;
+};
+
+inline std::vector<Row>& rows() {
+    static std::vector<Row> r;
+    return r;
+}
+
+inline void add_row(std::string label,
+                    std::vector<std::pair<std::string, double>> values) {
+    rows().push_back(Row{std::move(label), std::move(values)});
+}
+
+inline void print_summary(const char* title) {
+    std::printf("\n==== %s ====\n", title);
+    for (const auto& row : rows()) {
+        std::printf("%-42s", row.label.c_str());
+        for (const auto& [name, value] : row.values) {
+            std::printf("  %s=%.2f", name.c_str(), value);
+        }
+        std::printf("\n");
+    }
+    std::printf("\n");
+}
+
+inline const char* load_name(exp::LoadShape load) {
+    return load == exp::LoadShape::kStatic ? "static" : "dynamic";
+}
+
+}  // namespace rbft::bench
+
+/// Standard main: run benchmarks, then print the paper-style summary.
+#define RBFT_BENCH_MAIN(title)                                   \
+    int main(int argc, char** argv) {                            \
+        benchmark::Initialize(&argc, argv);                      \
+        if (benchmark::ReportUnrecognizedArguments(argc, argv))  \
+            return 1;                                            \
+        benchmark::RunSpecifiedBenchmarks();                     \
+        benchmark::Shutdown();                                   \
+        ::rbft::bench::print_summary(title);                     \
+        return 0;                                                \
+    }

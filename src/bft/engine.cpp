@@ -1,0 +1,619 @@
+#include "bft/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "crypto/sha256.hpp"
+
+namespace rbft::bft {
+
+InstanceEngine::InstanceEngine(EngineConfig config, sim::Simulator& simulator, sim::CpuCore& core,
+                               const crypto::KeyStore& keys, const crypto::CostModel& costs,
+                               EngineHost& host)
+    : config_(config),
+      simulator_(simulator),
+      core_(core),
+      keys_(keys),
+      costs_(costs),
+      host_(host) {}
+
+Digest InstanceEngine::batch_digest(const std::vector<RequestRef>& batch) const {
+    crypto::Sha256 hasher;
+    for (const auto& ref : batch) {
+        hasher.update(BytesView(ref.digest.bytes.data(), ref.digest.bytes.size()));
+    }
+    return hasher.finish();
+}
+
+bool InstanceEngine::in_watermarks(SeqNum seq) const noexcept {
+    return raw(seq) > raw(last_stable_) &&
+           raw(seq) <= raw(last_stable_) + config_.watermark_window;
+}
+
+Duration InstanceEngine::oldest_waiting_age() const {
+    for (const auto& [key, since] : waiting_fifo_) {
+        if (!ordered_keys_.contains(key)) return simulator_.now() - since;
+    }
+    return Duration{};
+}
+
+void InstanceEngine::broadcast(const net::MessagePtr& m, Duration per_dest_cost) {
+    for (std::uint32_t i = 0; i < config_.n; ++i) {
+        const NodeId dest{i};
+        if (dest == config_.node) continue;
+        core_.charge(simulator_, per_dest_cost + costs_.send_overhead);
+        host_.engine_send(config_.instance, dest, m);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Submission and batching.
+
+void InstanceEngine::submit(const RequestRef& ref) {
+    if (silent_replica_) return;
+    if (ordered_keys_.contains(ref.key())) return;
+    if (!waiting_since_.contains(ref.key())) {
+        waiting_since_.emplace(ref.key(), simulator_.now());
+        waiting_fifo_.emplace_back(ref.key(), simulator_.now());
+    }
+    // Unfair-primary lever: admit this request into the pending queue late.
+    if (is_primary() && behavior_.per_request_delay) {
+        const Duration d = behavior_.per_request_delay(ref);
+        if (d.ns > 0) {
+            simulator_.schedule_after(d, [this, ref] { enqueue_pending(ref); });
+            recheck_buffered_preprepares();
+            return;
+        }
+    }
+    enqueue_pending(ref);
+    recheck_buffered_preprepares();
+}
+
+void InstanceEngine::enqueue_pending(const RequestRef& ref) {
+    if (ordered_keys_.contains(ref.key()) || pending_keys_.contains(ref.key())) return;
+    pending_.push_back(ref);
+    pending_keys_.insert(ref.key());
+    maybe_send_batch();
+}
+
+void InstanceEngine::maybe_send_batch() {
+    if (in_view_change_ || silent_replica_ || behavior_.silent) return;
+    if (!is_primary()) return;
+    if (config_.rotating_primary) {
+        // Rotating mode proposes strictly sequentially: one live proposal.
+        if (slots_.contains(raw(next_deliver_)) &&
+            slots_[raw(next_deliver_)].pre_prepare.has_value()) {
+            return;
+        }
+        next_seq_ = next_deliver_;
+    }
+    if (!in_watermarks(next_seq_)) return;
+
+    // Drop already-ordered requests from the head of the queue.
+    while (!pending_.empty() && ordered_keys_.contains(pending_.front().key())) {
+        pending_keys_.erase(pending_.front().key());
+        pending_.pop_front();
+    }
+    if (pending_.empty()) return;
+
+    if (pending_.size() >= effective_batch_max()) {
+        send_batch_now();
+    } else if (!batch_timer_.armed()) {
+        batch_timer_.arm(simulator_, config_.batch_delay, [this] { send_batch_now(); });
+    }
+}
+
+void InstanceEngine::send_batch_now() {
+    batch_timer_.disarm(simulator_);
+    if (in_view_change_ || silent_replica_ || behavior_.silent || !is_primary()) return;
+    if (pp_send_scheduled_) return;
+    if (!in_watermarks(next_seq_)) return;
+
+    const std::uint32_t batch_limit = effective_batch_max();
+    std::vector<RequestRef> batch;
+    batch.reserve(std::min<std::size_t>(pending_.size(), batch_limit));
+    std::uint64_t batch_bytes = 0;
+    while (!pending_.empty() && batch.size() < batch_limit) {
+        RequestRef ref = pending_.front();
+        if (config_.batch_max_bytes > 0 && !batch.empty() &&
+            batch_bytes + ref.payload_bytes > config_.batch_max_bytes) {
+            break;
+        }
+        pending_.pop_front();
+        pending_keys_.erase(ref.key());
+        if (ordered_keys_.contains(ref.key())) continue;
+        batch_bytes += ref.payload_bytes;
+        batch.push_back(std::move(ref));
+    }
+    if (batch.empty()) return;
+
+    // Byzantine rate limiting / delaying happens here.
+    TimePoint earliest = simulator_.now();
+    if (next_pp_allowed_ > earliest) earliest = next_pp_allowed_;
+    if (behavior_.preprepare_delay.ns > 0) {
+        const TimePoint held = simulator_.now() + behavior_.preprepare_delay;
+        if (held > earliest) earliest = held;
+    }
+    if (earliest > simulator_.now()) {
+        pp_send_scheduled_ = true;
+        simulator_.schedule_at(earliest, [this, batch = std::move(batch)]() mutable {
+            pp_send_scheduled_ = false;
+            form_and_send_preprepare(std::move(batch));
+        });
+    } else {
+        form_and_send_preprepare(std::move(batch));
+    }
+}
+
+void InstanceEngine::form_and_send_preprepare(std::vector<RequestRef> batch) {
+    if (in_view_change_ || silent_replica_ || behavior_.silent || !is_primary()) {
+        // Re-queue so a later primary can order these requests.
+        for (auto& ref : batch) enqueue_pending(ref);
+        return;
+    }
+
+    auto pp = std::make_shared<PrePrepareMsg>();
+    pp->instance = config_.instance;
+    pp->view = view_;
+    pp->seq = next_seq_;
+    next_seq_ = next(next_seq_);
+    pp->batch = std::move(batch);
+    pp->batch_digest = batch_digest(pp->batch);
+    if (config_.order_full_requests) {
+        for (const auto& ref : pp->batch) pp->embedded_payload_bytes += ref.payload_bytes;
+    }
+    pp->auth = crypto::make_authenticator(
+        keys_, crypto::Principal::node(config_.node), config_.n,
+        BytesView(pp->batch_digest.bytes.data(), pp->batch_digest.bytes.size()));
+    pp->corrupt_mac_mask = behavior_.corrupt_preprepare_mac_mask;
+
+    // Generation cost: hash the batch (identifiers + any embedded payload)
+    // once, then one MAC per receiver.
+    core_.charge(simulator_, costs_.digest(batch_ref_bytes(pp->batch.size()) +
+                                           pp->embedded_payload_bytes) +
+                                 costs_.authenticator_ops(config_.n));
+    ++preprepares_sent_;
+    if (behavior_.inter_batch_gap.ns > 0) {
+        next_pp_allowed_ = simulator_.now() + behavior_.inter_batch_gap;
+    }
+
+    broadcast(pp, Duration{});
+    accept_pre_prepare(*pp);
+    maybe_send_batch();  // more pending requests may already justify a batch
+}
+
+// ---------------------------------------------------------------------------
+// Message handling.
+
+void InstanceEngine::on_message(NodeId from, const net::MessagePtr& m) {
+    if (silent_replica_) return;  // Byzantine-silent replica ignores traffic
+
+    // Verification cost depends on message type; charged before logic runs.
+    Duration cost = costs_.recv_overhead;
+    switch (m->type()) {
+        case net::MsgType::kPrePrepare: {
+            const auto& pp = static_cast<const PrePrepareMsg&>(*m);
+            cost += costs_.digest(batch_ref_bytes(pp.batch.size()) + pp.embedded_payload_bytes) +
+                    costs_.mac_op;
+            break;
+        }
+        case net::MsgType::kPrepare:
+        case net::MsgType::kCommit:
+        case net::MsgType::kCheckpoint:
+            cost += costs_.digest(m->wire_size()) + costs_.mac_op;
+            break;
+        case net::MsgType::kViewChange:
+        case net::MsgType::kNewView:
+            cost += costs_.sig_verify_with_body(m->wire_size());
+            break;
+        case net::MsgType::kFlood:
+            // Pay the attempted MAC check, then drop.
+            core_.charge(simulator_, cost + costs_.digest(m->wire_size()) + costs_.mac_op);
+            ++flood_discards_;
+            return;
+        default:
+            break;
+    }
+
+    core_.submit(simulator_, cost, [this, from, m] {
+        switch (m->type()) {
+            case net::MsgType::kPrePrepare: {
+                const auto& pp = static_cast<const PrePrepareMsg&>(*m);
+                if ((pp.corrupt_mac_mask >> raw(config_.node)) & 1) return;  // MAC check failed
+                handle_pre_prepare(from, pp);
+                break;
+            }
+            case net::MsgType::kPrepare:
+            case net::MsgType::kCommit: {
+                const auto& ph = static_cast<const PhaseMsg&>(*m);
+                if ((ph.corrupt_mac_mask >> raw(config_.node)) & 1) return;
+                handle_phase(from, ph);
+                break;
+            }
+            case net::MsgType::kCheckpoint:
+                handle_checkpoint(from, static_cast<const CheckpointMsg&>(*m));
+                break;
+            case net::MsgType::kViewChange:
+                handle_view_change(from, static_cast<const ViewChangeMsg&>(*m));
+                break;
+            case net::MsgType::kNewView:
+                handle_new_view(from, static_cast<const NewViewMsg&>(*m));
+                break;
+            default:
+                break;
+        }
+    });
+}
+
+void InstanceEngine::handle_pre_prepare(NodeId from, const PrePrepareMsg& m) {
+    if (m.instance != config_.instance) return;
+    last_pp_seen_ = simulator_.now();
+    if (from != primary_of(m.view)) return;
+    if (raw(m.view) > raw(view_)) {
+        // Ahead of us (rotating-primary hand-off or a view we have not
+        // installed yet): buffer and retry after we catch up.
+        buffered_pps_.push_back(m);
+        return;
+    }
+    if (m.view != view_ || in_view_change_) return;
+    if (!in_watermarks(m.seq)) return;
+
+    Slot& s = slot(m.seq);
+    if (s.pre_prepare.has_value()) return;  // duplicate or equivocation: keep first
+
+    // RBFT: prepare only once the node cleared the requests (f+1 PROPAGATEs).
+    for (const auto& ref : m.batch) {
+        if (!ordered_keys_.contains(ref.key()) && !host_.engine_request_cleared(ref)) {
+            buffered_pps_.push_back(m);
+            return;
+        }
+    }
+    accept_pre_prepare(m);
+}
+
+void InstanceEngine::accept_pre_prepare(const PrePrepareMsg& m) {
+    Slot& s = slot(m.seq);
+    if (s.pre_prepare.has_value()) return;
+    s.pre_prepare = m;
+    last_pp_seen_ = simulator_.now();
+
+    for (const auto& ref : m.batch) {
+        // In-flight: stop offering these in our own future batches.
+        pending_keys_.erase(ref.key());
+    }
+
+    if (primary_of(m.view) != config_.node) {
+        auto prep = std::make_shared<PhaseMsg>();
+        prep->phase = PhaseMsg::Phase::kPrepare;
+        prep->instance = config_.instance;
+        prep->view = m.view;
+        prep->seq = m.seq;
+        prep->batch_digest = m.batch_digest;
+        prep->replica = config_.node;
+        prep->auth = crypto::make_authenticator(
+            keys_, crypto::Principal::node(config_.node), config_.n,
+            BytesView(m.batch_digest.bytes.data(), m.batch_digest.bytes.size()));
+        core_.charge(simulator_, costs_.digest(prep->wire_size()) +
+                                     costs_.authenticator_ops(config_.n));
+        s.prepares.insert(config_.node);
+        s.sent_prepare = true;
+        broadcast(prep, Duration{});
+    }
+    try_prepare(m.seq);
+}
+
+void InstanceEngine::handle_phase(NodeId from, const PhaseMsg& m) {
+    if (m.instance != config_.instance) return;
+    if (!in_watermarks(m.seq)) return;
+    Slot& s = slot(m.seq);
+    if (s.pre_prepare.has_value() && s.pre_prepare->batch_digest != m.batch_digest) return;
+
+    if (m.phase == PhaseMsg::Phase::kPrepare) {
+        s.prepares.insert(from);
+        try_prepare(m.seq);
+    } else {
+        s.commits.insert(from);
+        try_commit(m.seq);
+    }
+}
+
+void InstanceEngine::try_prepare(SeqNum seq) {
+    Slot& s = slot(seq);
+    if (!s.pre_prepare.has_value() || s.sent_commit) return;
+    if (s.prepares.size() < prepare_quorum(config_.f)) return;
+
+    auto commit = std::make_shared<PhaseMsg>();
+    commit->phase = PhaseMsg::Phase::kCommit;
+    commit->instance = config_.instance;
+    commit->view = s.pre_prepare->view;
+    commit->seq = seq;
+    commit->batch_digest = s.pre_prepare->batch_digest;
+    commit->replica = config_.node;
+    commit->auth = crypto::make_authenticator(
+        keys_, crypto::Principal::node(config_.node), config_.n,
+        BytesView(commit->batch_digest.bytes.data(), commit->batch_digest.bytes.size()));
+    core_.charge(simulator_, costs_.digest(commit->wire_size()) +
+                                 costs_.authenticator_ops(config_.n));
+    s.sent_commit = true;
+    s.commits.insert(config_.node);
+    broadcast(commit, Duration{});
+    try_commit(seq);
+}
+
+void InstanceEngine::try_commit(SeqNum seq) {
+    Slot& s = slot(seq);
+    if (!s.sent_commit || s.committed) return;
+    if (s.commits.size() < commit_quorum(config_.f)) return;
+    s.committed = true;
+    try_deliver();
+}
+
+void InstanceEngine::try_deliver() {
+    while (true) {
+        auto it = slots_.find(raw(next_deliver_));
+        if (it == slots_.end()) break;
+        if (it->second.delivered) {
+            // Re-agreed after a view change on behalf of laggards; already
+            // delivered here.
+            next_deliver_ = next(next_deliver_);
+            if (config_.rotating_primary) view_ = next(view_);
+            continue;
+        }
+        if (!it->second.committed) break;
+        Slot& s = it->second;
+        s.delivered = true;
+
+        OrderedBatch batch;
+        batch.instance = config_.instance;
+        batch.view = s.pre_prepare->view;
+        batch.seq = next_deliver_;
+        batch.requests = s.pre_prepare->batch;
+        for (const auto& ref : batch.requests) {
+            ordered_keys_.insert(ref.key());
+            waiting_since_.erase(ref.key());
+        }
+        ordered_window_.add(batch.requests.size());
+        total_ordered_ += batch.requests.size();
+
+        next_deliver_ = next(next_deliver_);
+        if (config_.rotating_primary) view_ = next(view_);
+        host_.engine_ordered(batch);
+        maybe_checkpoint();
+    }
+    // Drop satisfied waiting entries from the front of the FIFO.
+    while (!waiting_fifo_.empty() && ordered_keys_.contains(waiting_fifo_.front().first)) {
+        waiting_fifo_.pop_front();
+    }
+    recheck_buffered_preprepares();
+    maybe_send_batch();
+}
+
+void InstanceEngine::recheck_buffered_preprepares() {
+    if (buffered_pps_.empty()) return;
+    std::vector<PrePrepareMsg> retry;
+    retry.swap(buffered_pps_);
+    for (auto& pp : retry) {
+        handle_pre_prepare(primary_of(pp.view), pp);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpointing.
+
+void InstanceEngine::maybe_checkpoint() {
+    const std::uint64_t executed = raw(next_deliver_) - 1;
+    if (executed == 0 || executed % config_.checkpoint_interval != 0) return;
+    if (executed <= raw(last_checkpoint_sent_)) return;
+    last_checkpoint_sent_ = SeqNum{executed};
+
+    auto cp = std::make_shared<CheckpointMsg>();
+    cp->instance = config_.instance;
+    cp->seq = SeqNum{executed};
+    // Simulated state digest: hash of (instance, seq).  Engine-level state
+    // is the ordering log; application state lives at the node.
+    net::WireWriter w;
+    w.u32(raw(config_.instance));
+    w.u64(executed);
+    cp->state_digest = crypto::sha256(BytesView(w.buffer().data(), w.buffer().size()));
+    cp->replica = config_.node;
+    cp->auth = crypto::make_authenticator(
+        keys_, crypto::Principal::node(config_.node), config_.n,
+        BytesView(cp->state_digest.bytes.data(), cp->state_digest.bytes.size()));
+    core_.charge(simulator_, costs_.digest(cp->wire_size()) +
+                                 costs_.authenticator_ops(config_.n));
+    checkpoint_votes_[executed].insert(config_.node);
+    broadcast(cp, Duration{});
+    advance_stable(SeqNum{executed});
+}
+
+void InstanceEngine::handle_checkpoint(NodeId from, const CheckpointMsg& m) {
+    if (m.instance != config_.instance) return;
+    if (raw(m.seq) <= raw(last_stable_)) return;
+    checkpoint_votes_[raw(m.seq)].insert(from);
+    advance_stable(m.seq);
+}
+
+void InstanceEngine::advance_stable(SeqNum seq) {
+    auto it = checkpoint_votes_.find(raw(seq));
+    if (it == checkpoint_votes_.end()) return;
+    if (it->second.size() < commit_quorum(config_.f)) return;
+    if (raw(seq) <= raw(last_stable_)) return;
+    last_stable_ = seq;
+    slots_.erase(slots_.begin(), slots_.upper_bound(raw(seq)));
+    checkpoint_votes_.erase(checkpoint_votes_.begin(),
+                            checkpoint_votes_.upper_bound(raw(seq)));
+    if (raw(next_deliver_) <= raw(seq)) {
+        // We fell behind the quorum's stable state: state transfer (PBFT):
+        // adopt the checkpoint and resume delivery after it.
+        next_deliver_ = SeqNum{raw(seq) + 1};
+        if (raw(next_seq_) < raw(next_deliver_)) next_seq_ = next_deliver_;
+        try_deliver();
+    }
+    maybe_send_batch();
+}
+
+// ---------------------------------------------------------------------------
+// View changes.
+
+void InstanceEngine::start_view_change(ViewId target) {
+    if (silent_replica_) return;
+    if (raw(target) <= raw(view_)) return;
+    if (in_view_change_ && raw(target) <= raw(vc_target_)) return;
+    in_view_change_ = true;
+    vc_target_ = target;
+    vc_started_at_ = simulator_.now();
+    sent_new_view_ = false;
+    batch_timer_.disarm(simulator_);
+    broadcast_view_change();
+    maybe_send_new_view();
+}
+
+void InstanceEngine::broadcast_view_change() {
+    auto vc = std::make_shared<ViewChangeMsg>();
+    vc->instance = config_.instance;
+    vc->new_view = vc_target_;
+    vc->last_stable = last_stable_;
+    vc->replica = config_.node;
+    for (const auto& [seq, s] : slots_) {
+        if (!s.pre_prepare.has_value() || !s.sent_commit) continue;
+        PreparedProof proof;
+        proof.seq = SeqNum{seq};
+        proof.view = s.pre_prepare->view;
+        proof.batch_digest = s.pre_prepare->batch_digest;
+        proof.batch = s.pre_prepare->batch;
+        vc->prepared.push_back(std::move(proof));
+    }
+    const Bytes body = vc->signed_bytes();
+    vc->sig = keys_.sign(crypto::Principal::node(config_.node),
+                         BytesView(body.data(), body.size()));
+    core_.charge(simulator_, costs_.sign_with_body(vc->wire_size()));
+    vc_messages_[{raw(vc_target_), raw(config_.node)}] = *vc;
+    broadcast(vc, Duration{});
+}
+
+void InstanceEngine::handle_view_change(NodeId from, const ViewChangeMsg& m) {
+    if (m.instance != config_.instance) return;
+    if (raw(m.new_view) <= raw(view_)) return;
+    // VIEW-CHANGE messages are signed (transferable evidence): check both
+    // the claimed identity and the signature before counting the vote.
+    if (m.replica != from || m.sig.signer != crypto::Principal::node(from)) return;
+    const Bytes body = m.signed_bytes();
+    if (!keys_.verify(m.sig, BytesView(body.data(), body.size()))) return;
+    vc_messages_[{raw(m.new_view), raw(from)}] = m;
+
+    // Join a view change when f+1 replicas vouch for it (we cannot all be
+    // wrong about needing one), as in PBFT/Aardvark.
+    std::size_t votes = 0;
+    for (const auto& [key, msg] : vc_messages_) {
+        if (key.first == raw(m.new_view)) ++votes;
+    }
+    if (!in_view_change_ || raw(m.new_view) > raw(vc_target_)) {
+        if (votes >= propagate_quorum(config_.f)) start_view_change(m.new_view);
+    }
+    maybe_send_new_view();
+}
+
+void InstanceEngine::maybe_send_new_view() {
+    if (!in_view_change_ || sent_new_view_) return;
+    if (primary_of(vc_target_) != config_.node) return;
+
+    std::vector<const ViewChangeMsg*> quorum;
+    for (const auto& [key, msg] : vc_messages_) {
+        if (key.first == raw(vc_target_)) quorum.push_back(&msg);
+    }
+    if (quorum.size() < commit_quorum(config_.f)) return;
+    sent_new_view_ = true;
+
+    // Merge prepared proofs: per seq keep the proof from the highest view.
+    SeqNum max_stable = last_stable_;
+    std::map<std::uint64_t, PreparedProof> merged;
+    for (const ViewChangeMsg* vc : quorum) {
+        if (raw(vc->last_stable) > raw(max_stable)) max_stable = vc->last_stable;
+        for (const auto& proof : vc->prepared) {
+            auto it = merged.find(raw(proof.seq));
+            if (it == merged.end() || raw(proof.view) > raw(it->second.view)) {
+                merged[raw(proof.seq)] = proof;
+            }
+        }
+    }
+
+    auto nv = std::make_shared<NewViewMsg>();
+    nv->instance = config_.instance;
+    nv->view = vc_target_;
+    nv->primary = config_.node;
+    for (const ViewChangeMsg* vc : quorum) {
+        const Bytes body = vc->signed_bytes();
+        nv->view_change_digests.push_back(crypto::sha256(BytesView(body.data(), body.size())));
+    }
+    std::uint64_t max_seq = raw(max_stable);
+    for (const auto& [seq, proof] : merged) max_seq = std::max(max_seq, seq);
+    for (std::uint64_t seq = raw(max_stable) + 1; seq <= max_seq; ++seq) {
+        auto it = merged.find(seq);
+        if (it != merged.end()) {
+            nv->reproposals.push_back(it->second);
+        } else {
+            PreparedProof filler;  // null request filling the gap (PBFT)
+            filler.seq = SeqNum{seq};
+            filler.view = vc_target_;
+            filler.batch_digest = batch_digest({});
+            nv->reproposals.push_back(std::move(filler));
+        }
+    }
+    const Bytes body = nv->signed_bytes();
+    nv->sig = keys_.sign(crypto::Principal::node(config_.node),
+                         BytesView(body.data(), body.size()));
+    core_.charge(simulator_, costs_.sign_with_body(nv->wire_size()));
+    broadcast(nv, Duration{});
+    install_view(vc_target_, nv->reproposals);
+}
+
+void InstanceEngine::handle_new_view(NodeId from, const NewViewMsg& m) {
+    if (m.instance != config_.instance) return;
+    if (from != primary_of(m.view)) return;
+    if (raw(m.view) <= raw(view_)) return;
+    if (m.primary != from || m.sig.signer != crypto::Principal::node(from)) return;
+    const Bytes body = m.signed_bytes();
+    if (!keys_.verify(m.sig, BytesView(body.data(), body.size()))) return;
+    install_view(m.view, m.reproposals);
+}
+
+void InstanceEngine::install_view(ViewId v, const std::vector<PreparedProof>& reproposals) {
+    view_ = v;
+    in_view_change_ = false;
+    ++view_changes_done_;
+
+    // Discard votes for views now in the past.
+    for (auto it = vc_messages_.begin(); it != vc_messages_.end();) {
+        it = (it->first.first <= raw(v)) ? vc_messages_.erase(it) : std::next(it);
+    }
+
+    std::uint64_t max_seq = raw(next_seq_) - 1;
+    for (const auto& proof : reproposals) {
+        max_seq = std::max(max_seq, raw(proof.seq));
+        auto it = slots_.find(raw(proof.seq));
+        // Reset the slot: quorum state from older views is void in view v.
+        // Slots we already delivered are still re-agreed (we participate so
+        // replicas that fell behind can commit them); the preserved
+        // delivered flag prevents double delivery.
+        Slot fresh;
+        fresh.delivered = it != slots_.end() && it->second.delivered;
+        PrePrepareMsg pp;
+        pp.instance = config_.instance;
+        pp.view = v;
+        pp.seq = proof.seq;
+        pp.batch = proof.batch;
+        pp.batch_digest = proof.batch_digest;
+        pp.auth = crypto::make_authenticator(
+            keys_, crypto::Principal::node(primary_of(v)), config_.n,
+            BytesView(pp.batch_digest.bytes.data(), pp.batch_digest.bytes.size()));
+        slots_[raw(proof.seq)] = std::move(fresh);
+        accept_pre_prepare(pp);
+    }
+    next_seq_ = SeqNum{std::max(max_seq + 1, raw(next_deliver_))};
+
+    host_.engine_view_installed(config_.instance, v);
+    recheck_buffered_preprepares();
+    maybe_send_batch();
+}
+
+}  // namespace rbft::bft

@@ -1,0 +1,279 @@
+// The protocol-instance engine: a PBFT-style three-phase ordering replica
+// (PRE-PREPARE / PREPARE / COMMIT) with batching, checkpointing, watermarks
+// and a view-change sub-protocol.
+//
+// One InstanceEngine is one replica of one protocol instance on one node.
+// RBFT runs f+1 of these per node (paper Fig. 4); Aardvark wraps exactly
+// one; Spinning wraps one in rotating-primary mode.  Per the paper (§IV-A),
+// an RBFT instance "implements a full-fledged BFT protocol, very similar to
+// Aardvark", except that it never starts a view change on its own — view
+// changes are driven externally by the instance-change mechanism, via
+// start_view_change().
+//
+// Execution model: the engine is pinned to one sim::CpuCore (replicas are
+// processes pinned to distinct cores, Fig. 6).  Message handling charges
+// verification CPU before protocol logic runs; sends charge generation CPU.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "bft/messages.hpp"
+#include "common/timeseries.hpp"
+#include "common/types.hpp"
+#include "crypto/cost_model.hpp"
+#include "crypto/keystore.hpp"
+#include "net/message.hpp"
+#include "sim/cpu.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timer.hpp"
+
+namespace rbft::bft {
+
+struct EngineConfig {
+    InstanceId instance{};
+    NodeId node{};
+    std::uint32_t n = 4;
+    std::uint32_t f = 1;
+
+    /// Batching: a PRE-PREPARE carries up to batch_max requests; a partial
+    /// batch is flushed batch_delay after its first request arrives.
+    std::uint32_t batch_max = 64;
+    Duration batch_delay = milliseconds(1.0);
+    /// Byte budget per batch, counted over request payloads (0 = unlimited).
+    /// Models datagram-bounded batches (Spinning's UDP multicast): at least
+    /// one request is always admitted.
+    std::uint64_t batch_max_bytes = 0;
+
+    /// Order full request bodies instead of identifiers (Aardvark mode and
+    /// the RBFT ablation discussed in §VI-B).
+    bool order_full_requests = false;
+
+    /// Rotate the primary automatically after every ordered batch
+    /// (Spinning, §III-C).  In this mode view == seq and proposals are
+    /// strictly sequential.
+    bool rotating_primary = false;
+
+    /// Checkpoint every this many sequence numbers.
+    std::uint64_t checkpoint_interval = 128;
+    /// Max in-flight distance beyond the last stable checkpoint.
+    std::uint64_t watermark_window = 2048;
+};
+
+/// Byzantine-primary levers used by the attack experiments.  A correct
+/// replica keeps the defaults.
+struct PrimaryBehavior {
+    /// Minimum spacing between consecutive PRE-PREPAREs (rate-limits
+    /// ordering: the "smartly malicious" throughput-degradation attacks).
+    Duration inter_batch_gap{};
+    /// Extra hold applied to every formed batch before sending (latency
+    /// attack; also degrades throughput in rotating/sequential modes).
+    Duration preprepare_delay{};
+    /// Caps batch size below EngineConfig::batch_max (0 = no cap).  A
+    /// rate-limiting attacker uses small batches for fine-grained control.
+    std::uint32_t batch_cap = 0;
+    /// Per-request admission delay, keyed on the request; used by the
+    /// unfair-primary experiment (Fig. 12) to slow one client only.
+    std::function<Duration(const RequestRef&)> per_request_delay;
+    /// Primary sends no PRE-PREPAREs at all.
+    bool silent = false;
+    /// Bit i set ⇒ the PRE-PREPARE authenticator entry for node i is
+    /// corrupted (selective equivocation-by-omission).
+    std::uint64_t corrupt_preprepare_mac_mask = 0;
+};
+
+/// Services an engine obtains from the node hosting it.
+class EngineHost {
+public:
+    virtual ~EngineHost() = default;
+
+    /// Sends `m` to the replica of the same instance hosted on `dest`.
+    virtual void engine_send(InstanceId instance, NodeId dest, net::MessagePtr m) = 0;
+
+    /// An ordered batch is handed back to the node, in sequence order.
+    virtual void engine_ordered(const OrderedBatch& batch) = 0;
+
+    /// A request may be prepared only once the node cleared it (for RBFT:
+    /// f+1 PROPAGATEs received, §IV-B step 4).  Baselines return true.
+    virtual bool engine_request_cleared(const RequestRef& ref) = 0;
+
+    /// A view change completed locally; `view`'s primary is now active.
+    virtual void engine_view_installed(InstanceId instance, ViewId view) = 0;
+};
+
+class InstanceEngine {
+public:
+    InstanceEngine(EngineConfig config, sim::Simulator& simulator, sim::CpuCore& core,
+                   const crypto::KeyStore& keys, const crypto::CostModel& costs,
+                   EngineHost& host);
+
+    // -- Node-facing API ----------------------------------------------------
+
+    /// Hands a verified request to this replica for ordering.
+    void submit(const RequestRef& ref);
+
+    /// Delivery entry point for replica-to-replica messages.
+    void on_message(NodeId from, const net::MessagePtr& m);
+
+    /// Starts a view change towards `target` (RBFT instance change, or the
+    /// hosting protocol's own policy).  No-op if `target` <= current view.
+    void start_view_change(ViewId target);
+
+    /// Marks this replica Byzantine-silent: it ignores all traffic and
+    /// sends nothing (worst-attack abstention).
+    void set_silent(bool silent) noexcept { silent_replica_ = silent; }
+
+    void set_primary_behavior(PrimaryBehavior behavior) { behavior_ = std::move(behavior); }
+
+    // -- Introspection -------------------------------------------------------
+
+    [[nodiscard]] ViewId view() const noexcept { return view_; }
+    [[nodiscard]] InstanceId instance() const noexcept { return config_.instance; }
+    [[nodiscard]] NodeId primary_of(ViewId v) const noexcept {
+        auto candidate = static_cast<std::uint32_t>(
+            config_.rotating_primary ? raw(v) % config_.n
+                                     : (raw(v) + raw(config_.instance)) % config_.n);
+        if (primary_filter_) {
+            // Skip blacklisted nodes (Spinning, §III-C); if everything is
+            // blacklisted fall back to the unfiltered choice.
+            for (std::uint32_t step = 0; step < config_.n; ++step) {
+                if (!primary_filter_(NodeId{candidate})) break;
+                candidate = (candidate + 1) % config_.n;
+            }
+        }
+        return NodeId{candidate};
+    }
+
+    /// Installs a predicate marking nodes that may not become primary
+    /// (Spinning's blacklist).  Applies from the next view computation.
+    void set_primary_filter(std::function<bool(NodeId)> is_blacklisted) {
+        primary_filter_ = std::move(is_blacklisted);
+    }
+    [[nodiscard]] NodeId primary() const noexcept { return primary_of(view_); }
+    [[nodiscard]] bool is_primary() const noexcept { return primary() == config_.node; }
+    [[nodiscard]] bool view_change_in_progress() const noexcept { return in_view_change_; }
+    [[nodiscard]] ViewId view_change_target() const noexcept { return vc_target_; }
+    [[nodiscard]] TimePoint view_change_started_at() const noexcept { return vc_started_at_; }
+
+    /// Requests ordered since the last take (monitoring input, §IV-C).
+    [[nodiscard]] std::uint64_t take_ordered_window() noexcept { return ordered_window_.take(); }
+    [[nodiscard]] std::uint64_t total_ordered() const noexcept { return total_ordered_; }
+    [[nodiscard]] std::uint64_t preprepares_sent() const noexcept { return preprepares_sent_; }
+    [[nodiscard]] std::uint64_t view_changes_completed() const noexcept { return view_changes_done_; }
+    [[nodiscard]] std::uint64_t flood_discards() const noexcept { return flood_discards_; }
+    [[nodiscard]] SeqNum last_stable() const noexcept { return last_stable_; }
+    [[nodiscard]] SeqNum next_to_deliver() const noexcept { return next_deliver_; }
+    [[nodiscard]] std::size_t pending_requests() const noexcept { return pending_.size(); }
+    [[nodiscard]] TimePoint last_preprepare_seen() const noexcept { return last_pp_seen_; }
+
+    /// Age of the oldest request submitted but not yet ordered (drives the
+    /// hosting protocol's timeout policies; zero when none waiting).
+    [[nodiscard]] Duration oldest_waiting_age() const;
+
+private:
+    struct Slot {
+        std::optional<PrePrepareMsg> pre_prepare;
+        std::set<NodeId> prepares;
+        std::set<NodeId> commits;
+        bool sent_prepare = false;
+        bool sent_commit = false;
+        bool committed = false;
+        bool delivered = false;
+    };
+
+    // Message handlers (run on the replica core after verification cost).
+    void handle_pre_prepare(NodeId from, const PrePrepareMsg& m);
+    void handle_phase(NodeId from, const PhaseMsg& m);
+    void handle_checkpoint(NodeId from, const CheckpointMsg& m);
+    void handle_view_change(NodeId from, const ViewChangeMsg& m);
+    void handle_new_view(NodeId from, const NewViewMsg& m);
+
+    // Primary-side batching.
+    void enqueue_pending(const RequestRef& ref);
+    void maybe_send_batch();
+    void send_batch_now();
+    void form_and_send_preprepare(std::vector<RequestRef> batch);
+
+    // Progress.
+    void try_prepare(SeqNum seq);
+    void try_commit(SeqNum seq);
+    void try_deliver();
+    void accept_pre_prepare(const PrePrepareMsg& m);
+    void recheck_buffered_preprepares();
+    void maybe_checkpoint();
+    void advance_stable(SeqNum seq);
+
+    // View change internals.
+    void broadcast_view_change();
+    void maybe_send_new_view();
+    void install_view(ViewId v, const std::vector<PreparedProof>& reproposals);
+
+    [[nodiscard]] Digest batch_digest(const std::vector<RequestRef>& batch) const;
+    [[nodiscard]] std::uint64_t batch_ref_bytes(std::size_t count) const noexcept {
+        return count * RequestRef::kWireBytes;
+    }
+    [[nodiscard]] bool in_watermarks(SeqNum seq) const noexcept;
+    [[nodiscard]] std::uint32_t effective_batch_max() const noexcept {
+        if (behavior_.batch_cap > 0 && behavior_.batch_cap < config_.batch_max) {
+            return behavior_.batch_cap;
+        }
+        return config_.batch_max;
+    }
+    [[nodiscard]] Slot& slot(SeqNum seq) { return slots_[raw(seq)]; }
+
+    void broadcast(const net::MessagePtr& m, Duration per_dest_cost);
+
+    EngineConfig config_;
+    sim::Simulator& simulator_;
+    sim::CpuCore& core_;
+    const crypto::KeyStore& keys_;
+    const crypto::CostModel& costs_;
+    EngineHost& host_;
+
+    ViewId view_{};
+    SeqNum next_seq_{SeqNum{1}};   // next seq this primary assigns
+    SeqNum next_deliver_{SeqNum{1}};
+    SeqNum last_stable_{SeqNum{0}};
+
+    std::map<std::uint64_t, Slot> slots_;  // keyed by raw seq, ordered
+    std::deque<RequestRef> pending_;
+    std::unordered_set<RequestKey> pending_keys_;
+    std::unordered_set<RequestKey> ordered_keys_;
+    std::unordered_map<RequestKey, TimePoint> waiting_since_;
+    std::deque<std::pair<RequestKey, TimePoint>> waiting_fifo_;
+    std::vector<PrePrepareMsg> buffered_pps_;  // awaiting clearance or view
+
+    // Checkpoints: per seq, set of voters.
+    std::map<std::uint64_t, std::set<NodeId>> checkpoint_votes_;
+    SeqNum last_checkpoint_sent_{SeqNum{0}};
+
+    // View change state: votes keyed by (target view, sender node).
+    bool in_view_change_ = false;
+    ViewId vc_target_{};
+    TimePoint vc_started_at_{};
+    std::map<std::pair<std::uint64_t, std::uint32_t>, ViewChangeMsg> vc_messages_;
+    bool sent_new_view_ = false;
+
+    std::function<bool(NodeId)> primary_filter_;
+    sim::OneShotTimer batch_timer_;
+    bool pp_send_scheduled_ = false;
+    TimePoint next_pp_allowed_{};
+    TimePoint last_pp_seen_{};
+    bool silent_replica_ = false;
+    PrimaryBehavior behavior_;
+
+    WindowCounter ordered_window_;
+    std::uint64_t total_ordered_ = 0;
+    std::uint64_t preprepares_sent_ = 0;
+    std::uint64_t view_changes_done_ = 0;
+    std::uint64_t flood_discards_ = 0;
+};
+
+}  // namespace rbft::bft

@@ -1,0 +1,294 @@
+#include "bft/messages.hpp"
+
+namespace rbft::bft {
+namespace {
+
+void encode_principal(net::WireWriter& w, const crypto::Principal& p) {
+    w.u8(static_cast<std::uint8_t>(p.kind));
+    w.u32(p.index);
+}
+
+crypto::Principal decode_principal(net::WireReader& r) {
+    crypto::Principal p;
+    p.kind = static_cast<crypto::Principal::Kind>(r.u8());
+    p.index = r.u32();
+    return p;
+}
+
+void encode_mac(net::WireWriter& w, const crypto::Mac& m) {
+    w.raw(BytesView(m.bytes.data(), m.bytes.size()));
+}
+
+crypto::Mac decode_mac(net::WireReader& r) {
+    crypto::Mac m;
+    for (auto& b : m.bytes) b = r.u8();
+    return m;
+}
+
+void encode_sig(net::WireWriter& w, const crypto::Signature& s) {
+    encode_principal(w, s.signer);
+    w.digest(s.tag);
+}
+
+crypto::Signature decode_sig(net::WireReader& r) {
+    crypto::Signature s;
+    s.signer = decode_principal(r);
+    s.tag = r.digest();
+    return s;
+}
+
+void encode_auth(net::WireWriter& w, const crypto::MacAuthenticator& a) {
+    encode_principal(w, a.sender);
+    w.u32(static_cast<std::uint32_t>(a.macs.size()));
+    for (const auto& m : a.macs) encode_mac(w, m);
+}
+
+crypto::MacAuthenticator decode_auth(net::WireReader& r) {
+    crypto::MacAuthenticator a;
+    a.sender = decode_principal(r);
+    const std::uint32_t n = r.u32();
+    // Bound by remaining bytes so malformed input cannot force a huge alloc.
+    if (static_cast<std::size_t>(n) * 16 > r.remaining()) return a;
+    a.macs.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) a.macs.push_back(decode_mac(r));
+    return a;
+}
+
+}  // namespace
+
+void RequestRef::encode(net::WireWriter& w) const {
+    w.u32(raw(client));
+    w.u64(raw(rid));
+    w.digest(digest);
+    w.u32(payload_bytes);
+}
+
+RequestRef RequestRef::decode(net::WireReader& r) {
+    RequestRef ref;
+    ref.client = ClientId{r.u32()};
+    ref.rid = RequestId{r.u64()};
+    ref.digest = r.digest();
+    ref.payload_bytes = r.u32();
+    return ref;
+}
+
+Bytes RequestMsg::signed_bytes() const {
+    net::WireWriter w;
+    w.u32(raw(client));
+    w.u64(raw(rid));
+    w.bytes(payload);
+    return w.take();
+}
+
+void RequestMsg::encode(net::WireWriter& w) const {
+    w.u32(raw(client));
+    w.u64(raw(rid));
+    w.bytes(payload);
+    w.u64(static_cast<std::uint64_t>(exec_cost.ns));
+    w.digest(digest);
+    encode_sig(w, sig);
+    encode_auth(w, auth);
+    w.u8(corrupt_sig ? 1 : 0);
+    w.u64(corrupt_mac_mask);
+}
+
+RequestMsg RequestMsg::decode(net::WireReader& r) {
+    RequestMsg m;
+    m.client = ClientId{r.u32()};
+    m.rid = RequestId{r.u64()};
+    m.payload = r.bytes();
+    m.exec_cost = Duration{static_cast<std::int64_t>(r.u64())};
+    m.digest = r.digest();
+    m.sig = decode_sig(r);
+    m.auth = decode_auth(r);
+    m.corrupt_sig = r.u8() != 0;
+    m.corrupt_mac_mask = r.u64();
+    return m;
+}
+
+void ReplyMsg::encode(net::WireWriter& w) const {
+    w.u32(raw(client));
+    w.u64(raw(rid));
+    w.u32(raw(node));
+    w.bytes(result);
+    encode_mac(w, mac);
+}
+
+ReplyMsg ReplyMsg::decode(net::WireReader& r) {
+    ReplyMsg m;
+    m.client = ClientId{r.u32()};
+    m.rid = RequestId{r.u64()};
+    m.node = NodeId{r.u32()};
+    m.result = r.bytes();
+    m.mac = decode_mac(r);
+    return m;
+}
+
+void PrePrepareMsg::encode(net::WireWriter& w) const {
+    w.u32(raw(instance));
+    w.u64(raw(view));
+    w.u64(raw(seq));
+    w.u32(static_cast<std::uint32_t>(batch.size()));
+    for (const auto& ref : batch) ref.encode(w);
+    w.digest(batch_digest);
+    w.u64(embedded_payload_bytes);
+    encode_auth(w, auth);
+    w.u64(corrupt_mac_mask);
+}
+
+PrePrepareMsg PrePrepareMsg::decode(net::WireReader& r) {
+    PrePrepareMsg m;
+    m.instance = InstanceId{r.u32()};
+    m.view = ViewId{r.u64()};
+    m.seq = SeqNum{r.u64()};
+    const std::uint32_t n = r.u32();
+    if (static_cast<std::size_t>(n) * RequestRef::kWireBytes <= r.remaining()) {
+        m.batch.reserve(n);
+        for (std::uint32_t i = 0; i < n; ++i) m.batch.push_back(RequestRef::decode(r));
+    }
+    m.batch_digest = r.digest();
+    m.embedded_payload_bytes = r.u64();
+    m.auth = decode_auth(r);
+    m.corrupt_mac_mask = r.u64();
+    return m;
+}
+
+void PhaseMsg::encode(net::WireWriter& w) const {
+    w.u8(static_cast<std::uint8_t>(phase));
+    w.u32(raw(instance));
+    w.u64(raw(view));
+    w.u64(raw(seq));
+    w.digest(batch_digest);
+    w.u32(raw(replica));
+    encode_auth(w, auth);
+    w.u64(corrupt_mac_mask);
+}
+
+PhaseMsg PhaseMsg::decode(net::WireReader& r) {
+    PhaseMsg m;
+    m.phase = static_cast<Phase>(r.u8());
+    m.instance = InstanceId{r.u32()};
+    m.view = ViewId{r.u64()};
+    m.seq = SeqNum{r.u64()};
+    m.batch_digest = r.digest();
+    m.replica = NodeId{r.u32()};
+    m.auth = decode_auth(r);
+    m.corrupt_mac_mask = r.u64();
+    return m;
+}
+
+void CheckpointMsg::encode(net::WireWriter& w) const {
+    w.u32(raw(instance));
+    w.u64(raw(seq));
+    w.digest(state_digest);
+    w.u32(raw(replica));
+    encode_auth(w, auth);
+}
+
+CheckpointMsg CheckpointMsg::decode(net::WireReader& r) {
+    CheckpointMsg m;
+    m.instance = InstanceId{r.u32()};
+    m.seq = SeqNum{r.u64()};
+    m.state_digest = r.digest();
+    m.replica = NodeId{r.u32()};
+    m.auth = decode_auth(r);
+    return m;
+}
+
+void PreparedProof::encode(net::WireWriter& w) const {
+    w.u64(raw(seq));
+    w.u64(raw(view));
+    w.digest(batch_digest);
+    w.u32(static_cast<std::uint32_t>(batch.size()));
+    for (const auto& ref : batch) ref.encode(w);
+}
+
+PreparedProof PreparedProof::decode(net::WireReader& r) {
+    PreparedProof p;
+    p.seq = SeqNum{r.u64()};
+    p.view = ViewId{r.u64()};
+    p.batch_digest = r.digest();
+    const std::uint32_t n = r.u32();
+    if (static_cast<std::size_t>(n) * RequestRef::kWireBytes <= r.remaining()) {
+        p.batch.reserve(n);
+        for (std::uint32_t i = 0; i < n; ++i) p.batch.push_back(RequestRef::decode(r));
+    }
+    return p;
+}
+
+Bytes ViewChangeMsg::signed_bytes() const {
+    net::WireWriter w;
+    w.u32(raw(instance));
+    w.u64(raw(new_view));
+    w.u64(raw(last_stable));
+    w.u32(raw(replica));
+    for (const auto& p : prepared) p.encode(w);
+    return w.take();
+}
+
+void ViewChangeMsg::encode(net::WireWriter& w) const {
+    w.u32(raw(instance));
+    w.u64(raw(new_view));
+    w.u64(raw(last_stable));
+    w.u32(static_cast<std::uint32_t>(prepared.size()));
+    for (const auto& p : prepared) p.encode(w);
+    w.u32(raw(replica));
+    encode_sig(w, sig);
+}
+
+ViewChangeMsg ViewChangeMsg::decode(net::WireReader& r) {
+    ViewChangeMsg m;
+    m.instance = InstanceId{r.u32()};
+    m.new_view = ViewId{r.u64()};
+    m.last_stable = SeqNum{r.u64()};
+    const std::uint32_t n = r.u32();
+    if (static_cast<std::size_t>(n) * PreparedProof::kFixedWireBytes <= r.remaining()) {
+        m.prepared.reserve(n);
+        for (std::uint32_t i = 0; i < n; ++i) m.prepared.push_back(PreparedProof::decode(r));
+    }
+    m.replica = NodeId{r.u32()};
+    m.sig = decode_sig(r);
+    return m;
+}
+
+Bytes NewViewMsg::signed_bytes() const {
+    net::WireWriter w;
+    w.u32(raw(instance));
+    w.u64(raw(view));
+    w.u32(raw(primary));
+    for (const auto& d : view_change_digests) w.digest(d);
+    for (const auto& p : reproposals) p.encode(w);
+    return w.take();
+}
+
+void NewViewMsg::encode(net::WireWriter& w) const {
+    w.u32(raw(instance));
+    w.u64(raw(view));
+    w.u32(static_cast<std::uint32_t>(view_change_digests.size()));
+    for (const auto& d : view_change_digests) w.digest(d);
+    w.u32(static_cast<std::uint32_t>(reproposals.size()));
+    for (const auto& p : reproposals) p.encode(w);
+    w.u32(raw(primary));
+    encode_sig(w, sig);
+}
+
+NewViewMsg NewViewMsg::decode(net::WireReader& r) {
+    NewViewMsg m;
+    m.instance = InstanceId{r.u32()};
+    m.view = ViewId{r.u64()};
+    const std::uint32_t nd = r.u32();
+    if (static_cast<std::size_t>(nd) * 32 <= r.remaining()) {
+        m.view_change_digests.reserve(nd);
+        for (std::uint32_t i = 0; i < nd; ++i) m.view_change_digests.push_back(r.digest());
+    }
+    const std::uint32_t np = r.u32();
+    if (static_cast<std::size_t>(np) * PreparedProof::kFixedWireBytes <= r.remaining()) {
+        m.reproposals.reserve(np);
+        for (std::uint32_t i = 0; i < np; ++i) m.reproposals.push_back(PreparedProof::decode(r));
+    }
+    m.primary = NodeId{r.u32()};
+    m.sig = decode_sig(r);
+    return m;
+}
+
+}  // namespace rbft::bft

@@ -1,0 +1,59 @@
+// Byte-buffer utilities used by serialization and crypto.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rbft {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Copies a string's characters into a byte buffer (no encoding applied).
+[[nodiscard]] inline Bytes to_bytes(std::string_view s) {
+    return Bytes(s.begin(), s.end());
+}
+
+/// Interprets a byte buffer as text; only meaningful for buffers produced
+/// from text in the first place (e.g. key-value store operations).
+[[nodiscard]] inline std::string to_string(BytesView b) {
+    return std::string(b.begin(), b.end());
+}
+
+/// Hex-encodes a buffer (for logs and golden tests).
+[[nodiscard]] inline std::string to_hex(BytesView b) {
+    static constexpr char kHex[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(b.size() * 2);
+    for (std::uint8_t v : b) {
+        out.push_back(kHex[v >> 4]);
+        out.push_back(kHex[v & 0xF]);
+    }
+    return out;
+}
+
+/// Decodes a hex string produced by `to_hex`; returns an empty buffer for
+/// malformed input (odd length or non-hex characters).
+[[nodiscard]] inline Bytes from_hex(std::string_view hex) {
+    auto nibble = [](char c) -> int {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+        return -1;
+    };
+    if (hex.size() % 2 != 0) return {};
+    Bytes out;
+    out.reserve(hex.size() / 2);
+    for (std::size_t i = 0; i + 1 < hex.size(); i += 2) {
+        const int hi = nibble(hex[i]);
+        const int lo = nibble(hex[i + 1]);
+        if (hi < 0 || lo < 0) return {};
+        out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+    }
+    return out;
+}
+
+}  // namespace rbft

@@ -1,0 +1,111 @@
+// Latency statistics: streaming summary plus a log-bucketed histogram for
+// percentile queries.  Used by the monitoring module (per-client latency
+// tracking, §IV-C) and by the experiment harness (latency-vs-throughput
+// curves of Fig. 7).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace rbft {
+
+/// Streaming mean/min/max/count over double-valued samples.
+class Summary {
+public:
+    void add(double v) noexcept {
+        ++count_;
+        sum_ += v;
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+
+    void reset() noexcept { *this = Summary{}; }
+
+    [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+    [[nodiscard]] double sum() const noexcept { return sum_; }
+    [[nodiscard]] double mean() const noexcept { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+    [[nodiscard]] double min() const noexcept { return count_ == 0 ? 0.0 : min_; }
+    [[nodiscard]] double max() const noexcept { return count_ == 0 ? 0.0 : max_; }
+
+private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Histogram with logarithmically spaced buckets over (0, +inf); values are
+/// expected to be positive (latencies in seconds).  Percentiles are linear
+/// within a bucket, which is accurate enough for reporting p50/p99.
+class LatencyHistogram {
+public:
+    /// `buckets_per_decade` controls resolution; 20 gives ~12% bucket width.
+    explicit LatencyHistogram(double min_value = 1e-7, double max_value = 100.0,
+                              int buckets_per_decade = 40)
+        : min_value_(min_value),
+          log_min_(std::log10(min_value)),
+          scale_(buckets_per_decade) {
+        const int decades = static_cast<int>(std::ceil(std::log10(max_value / min_value)));
+        counts_.assign(static_cast<std::size_t>(decades * buckets_per_decade) + 2, 0);
+    }
+
+    void add(double v) noexcept {
+        summary_.add(v);
+        counts_[index_of(v)]++;
+    }
+
+    void reset() noexcept {
+        summary_.reset();
+        std::fill(counts_.begin(), counts_.end(), 0);
+    }
+
+    [[nodiscard]] const Summary& summary() const noexcept { return summary_; }
+
+    /// Value below which `q` (in [0,1]) of the samples fall; 0 if empty.
+    [[nodiscard]] double quantile(double q) const noexcept {
+        const std::uint64_t n = summary_.count();
+        if (n == 0) return 0.0;
+        const double target = q * static_cast<double>(n);
+        double seen = 0.0;
+        for (std::size_t i = 0; i < counts_.size(); ++i) {
+            if (counts_[i] == 0) continue;
+            const double next_seen = seen + static_cast<double>(counts_[i]);
+            if (next_seen >= target) {
+                const double frac = (target - seen) / static_cast<double>(counts_[i]);
+                return bucket_lower(i) + frac * (bucket_upper(i) - bucket_lower(i));
+            }
+            seen = next_seen;
+        }
+        return summary_.max();
+    }
+
+private:
+    [[nodiscard]] std::size_t index_of(double v) const noexcept {
+        if (v <= min_value_) return 0;
+        const double pos = (std::log10(v) - log_min_) * scale_;
+        const auto idx = static_cast<std::size_t>(pos) + 1;
+        return std::min(idx, counts_.size() - 1);
+    }
+
+    [[nodiscard]] double bucket_lower(std::size_t i) const noexcept {
+        if (i == 0) return 0.0;
+        return std::pow(10.0, log_min_ + static_cast<double>(i - 1) / scale_);
+    }
+
+    [[nodiscard]] double bucket_upper(std::size_t i) const noexcept {
+        if (i == 0) return min_value_;
+        return std::pow(10.0, log_min_ + static_cast<double>(i) / scale_);
+    }
+
+    double min_value_;
+    double log_min_;
+    double scale_;
+    Summary summary_;
+    std::vector<std::uint64_t> counts_;
+};
+
+}  // namespace rbft

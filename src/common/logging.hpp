@@ -1,0 +1,60 @@
+// Minimal leveled logging.
+//
+// The simulator is single-threaded, so logging needs no synchronization.
+// Logs are off by default (benches and tests run silently); examples turn
+// them on to narrate protocol steps.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace rbft {
+
+enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
+
+class Logger {
+public:
+    static Logger& instance() {
+        static Logger logger;
+        return logger;
+    }
+
+    void set_level(LogLevel level) noexcept { level_ = level; }
+    [[nodiscard]] LogLevel level() const noexcept { return level_; }
+    [[nodiscard]] bool enabled(LogLevel level) const noexcept { return level >= level_; }
+
+    void log(LogLevel level, std::string_view component, std::string_view message) {
+        if (!enabled(level)) return;
+        std::fprintf(stderr, "[%s] %.*s: %.*s\n", name(level),
+                     static_cast<int>(component.size()), component.data(),
+                     static_cast<int>(message.size()), message.data());
+    }
+
+private:
+    static const char* name(LogLevel level) noexcept {
+        switch (level) {
+            case LogLevel::kTrace: return "TRACE";
+            case LogLevel::kDebug: return "DEBUG";
+            case LogLevel::kInfo: return "INFO ";
+            case LogLevel::kWarn: return "WARN ";
+            case LogLevel::kError: return "ERROR";
+            case LogLevel::kOff: return "OFF  ";
+        }
+        return "?";
+    }
+
+    LogLevel level_ = LogLevel::kOff;
+};
+
+inline void log_info(std::string_view component, const std::string& message) {
+    Logger::instance().log(LogLevel::kInfo, component, message);
+}
+inline void log_debug(std::string_view component, const std::string& message) {
+    Logger::instance().log(LogLevel::kDebug, component, message);
+}
+inline void log_warn(std::string_view component, const std::string& message) {
+    Logger::instance().log(LogLevel::kWarn, component, message);
+}
+
+}  // namespace rbft

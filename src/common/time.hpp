@@ -1,0 +1,62 @@
+// Simulated time: 64-bit nanosecond counters.
+//
+// All protocol timeouts, crypto costs, network delays and monitoring
+// periods are expressed in this unit.  Wrapping is not a concern (2^63 ns
+// ≈ 292 years of simulated time).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace rbft {
+
+/// A span of simulated time, in nanoseconds.  Signed so that differences
+/// and backoff arithmetic are natural.
+struct Duration {
+    std::int64_t ns = 0;
+
+    auto operator<=>(const Duration&) const = default;
+
+    [[nodiscard]] constexpr double seconds() const noexcept { return static_cast<double>(ns) * 1e-9; }
+    [[nodiscard]] constexpr double millis() const noexcept { return static_cast<double>(ns) * 1e-6; }
+    [[nodiscard]] constexpr double micros() const noexcept { return static_cast<double>(ns) * 1e-3; }
+
+    constexpr Duration& operator+=(Duration d) noexcept { ns += d.ns; return *this; }
+    constexpr Duration& operator-=(Duration d) noexcept { ns -= d.ns; return *this; }
+};
+
+[[nodiscard]] constexpr Duration operator+(Duration a, Duration b) noexcept { return {a.ns + b.ns}; }
+[[nodiscard]] constexpr Duration operator-(Duration a, Duration b) noexcept { return {a.ns - b.ns}; }
+[[nodiscard]] constexpr Duration operator*(Duration a, std::int64_t k) noexcept { return {a.ns * k}; }
+[[nodiscard]] constexpr Duration operator*(std::int64_t k, Duration a) noexcept { return {a.ns * k}; }
+[[nodiscard]] constexpr Duration operator*(Duration a, double k) noexcept {
+    return {static_cast<std::int64_t>(static_cast<double>(a.ns) * k)};
+}
+[[nodiscard]] constexpr Duration operator/(Duration a, std::int64_t k) noexcept { return {a.ns / k}; }
+
+[[nodiscard]] constexpr Duration nanoseconds(std::int64_t n) noexcept { return {n}; }
+[[nodiscard]] constexpr Duration microseconds(double us) noexcept {
+    return {static_cast<std::int64_t>(us * 1e3)};
+}
+[[nodiscard]] constexpr Duration milliseconds(double ms) noexcept {
+    return {static_cast<std::int64_t>(ms * 1e6)};
+}
+[[nodiscard]] constexpr Duration seconds(double s) noexcept {
+    return {static_cast<std::int64_t>(s * 1e9)};
+}
+
+/// An instant of simulated time (nanoseconds since simulation start).
+struct TimePoint {
+    std::int64_t ns = 0;
+
+    auto operator<=>(const TimePoint&) const = default;
+
+    [[nodiscard]] constexpr double seconds() const noexcept { return static_cast<double>(ns) * 1e-9; }
+    [[nodiscard]] constexpr double millis() const noexcept { return static_cast<double>(ns) * 1e-6; }
+};
+
+[[nodiscard]] constexpr TimePoint operator+(TimePoint t, Duration d) noexcept { return {t.ns + d.ns}; }
+[[nodiscard]] constexpr TimePoint operator-(TimePoint t, Duration d) noexcept { return {t.ns - d.ns}; }
+[[nodiscard]] constexpr Duration operator-(TimePoint a, TimePoint b) noexcept { return {a.ns - b.ns}; }
+
+}  // namespace rbft

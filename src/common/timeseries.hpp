@@ -1,0 +1,55 @@
+// Windowed counters and recorded series.
+//
+// The RBFT monitoring mechanism (§IV-C) periodically reads per-instance
+// ordered-request counters, converts them to a throughput, and resets them.
+// `WindowCounter` is that counter; `Series` records (time, value) points the
+// benches print to regenerate the paper's figures.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace rbft {
+
+/// A counter read-and-reset on each monitoring period.
+class WindowCounter {
+public:
+    void add(std::uint64_t n = 1) noexcept { value_ += n; }
+
+    /// Returns the count accumulated since the last take() and resets it.
+    [[nodiscard]] std::uint64_t take() noexcept {
+        return std::exchange(value_, 0);
+    }
+
+    [[nodiscard]] std::uint64_t peek() const noexcept { return value_; }
+
+private:
+    std::uint64_t value_ = 0;
+};
+
+/// A recorded (x, y) series, e.g. time vs throughput or request# vs latency.
+struct Series {
+    std::vector<std::pair<double, double>> points;
+
+    void add(double x, double y) { points.emplace_back(x, y); }
+    [[nodiscard]] bool empty() const noexcept { return points.empty(); }
+    [[nodiscard]] std::size_t size() const noexcept { return points.size(); }
+
+    /// Mean of the y values; 0 if empty.
+    [[nodiscard]] double mean_y() const noexcept {
+        if (points.empty()) return 0.0;
+        double s = 0.0;
+        for (const auto& [x, y] : points) s += y;
+        return s / static_cast<double>(points.size());
+    }
+
+    /// Maximum of the y values; 0 if empty.
+    [[nodiscard]] double max_y() const noexcept {
+        double m = 0.0;
+        for (const auto& [x, y] : points) m = y > m ? y : m;
+        return m;
+    }
+};
+
+}  // namespace rbft

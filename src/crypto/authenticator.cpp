@@ -1,0 +1,25 @@
+#include "crypto/authenticator.hpp"
+
+namespace rbft::crypto {
+
+MacAuthenticator make_authenticator(const KeyStore& keys, Principal sender,
+                                    std::uint32_t node_count, BytesView data) {
+    MacAuthenticator auth;
+    auth.sender = sender;
+    auth.macs.reserve(node_count);
+    for (std::uint32_t i = 0; i < node_count; ++i) {
+        const SymmetricKey key = keys.pairwise_key(sender, Principal::node(NodeId{i}));
+        auth.macs.push_back(compute_mac(key, data));
+    }
+    return auth;
+}
+
+bool verify_authenticator(const KeyStore& keys, const MacAuthenticator& auth,
+                          NodeId receiver, BytesView data) {
+    const std::uint32_t idx = raw(receiver);
+    if (idx >= auth.macs.size()) return false;
+    const SymmetricKey key = keys.pairwise_key(auth.sender, Principal::node(receiver));
+    return verify_mac(key, data, auth.macs[idx]);
+}
+
+}  // namespace rbft::crypto

@@ -1,0 +1,32 @@
+// MAC authenticators: an array with one MAC per receiving node, written
+// 〈m〉~μi in the paper.  A sender computes N MACs (one per node) so that any
+// node can check its own entry; unlike a signature this provides no
+// non-repudiation, which is why client REQUESTs are additionally signed
+// (paper §IV-B step 1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/types.hpp"
+#include "crypto/keystore.hpp"
+
+namespace rbft::crypto {
+
+struct MacAuthenticator {
+    Principal sender{};
+    std::vector<Mac> macs;  // indexed by receiving node id
+
+    auto operator<=>(const MacAuthenticator&) const = default;
+};
+
+/// Computes one MAC per node in [0, node_count).
+[[nodiscard]] MacAuthenticator make_authenticator(const KeyStore& keys, Principal sender,
+                                                  std::uint32_t node_count, BytesView data);
+
+/// Verifies the entry addressed to `receiver`; out-of-range entries fail.
+[[nodiscard]] bool verify_authenticator(const KeyStore& keys, const MacAuthenticator& auth,
+                                        NodeId receiver, BytesView data);
+
+}  // namespace rbft::crypto

@@ -1,0 +1,82 @@
+// Key management for a simulated deployment.
+//
+// Principals are either nodes or clients.  The keystore derives, from one
+// master secret, (a) a pairwise symmetric key for every (principal,
+// principal) pair — used for MACs and MAC authenticators — and (b) a
+// per-principal signing key for the simulated signature scheme.
+//
+// Threat-model note: in the simulation all keys live in one process, so
+// confidentiality is enforced by API discipline, not isolation.  Honest
+// code only ever calls `signer(p)` for its own principal; the Byzantine
+// behaviours implemented in src/attacks never do otherwise.  What the model
+// *does* preserve is the cost asymmetry and verification semantics
+// (valid/invalid) that drive the paper's results.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "common/bytes.hpp"
+#include "common/types.hpp"
+#include "crypto/hmac.hpp"
+
+namespace rbft::crypto {
+
+/// A node or a client, in one address space for keying purposes.
+struct Principal {
+    enum class Kind : std::uint8_t { kNode, kClient };
+
+    Kind kind = Kind::kNode;
+    std::uint32_t index = 0;
+
+    auto operator<=>(const Principal&) const = default;
+
+    [[nodiscard]] static Principal node(NodeId id) noexcept {
+        return {Kind::kNode, raw(id)};
+    }
+    [[nodiscard]] static Principal client(ClientId id) noexcept {
+        return {Kind::kClient, raw(id)};
+    }
+};
+
+/// A detached "signature": HMAC under the signer's private signing key.
+/// Verification is done through the keystore (which stands in for the PKI);
+/// the *cost* of generation/verification is charged by the CostModel as if
+/// this were RSA/ECDSA, which is what matters for the reproduction.
+struct Signature {
+    Principal signer{};
+    Digest tag{};
+
+    auto operator<=>(const Signature&) const = default;
+};
+
+class KeyStore {
+public:
+    /// Derives all keys deterministically from `master_secret`.
+    explicit KeyStore(std::uint64_t master_secret) noexcept;
+
+    /// Symmetric key shared between `a` and `b` (order-independent).
+    [[nodiscard]] SymmetricKey pairwise_key(Principal a, Principal b) const;
+
+    /// Signs `data` on behalf of `p`.
+    [[nodiscard]] Signature sign(Principal p, BytesView data) const;
+
+    /// Verifies that `sig` is `sig.signer`'s signature over `data`.
+    [[nodiscard]] bool verify(const Signature& sig, BytesView data) const;
+
+private:
+    [[nodiscard]] SymmetricKey signing_key(Principal p) const;
+
+    SymmetricKey root_{};
+};
+
+}  // namespace rbft::crypto
+
+template <>
+struct std::hash<rbft::crypto::Principal> {
+    std::size_t operator()(const rbft::crypto::Principal& p) const noexcept {
+        return (static_cast<std::size_t>(p.kind) << 32) ^ p.index;
+    }
+};

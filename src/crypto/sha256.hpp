@@ -1,0 +1,44 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Digests are used for request identifiers ordered by the protocol
+// instances (the paper orders "the client id, request id and digest" rather
+// than whole request payloads, §IV-B step 2) and as the compression core of
+// HMAC and of the simulated signature scheme.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/types.hpp"
+
+namespace rbft::crypto {
+
+/// Incremental SHA-256 hasher.
+class Sha256 {
+public:
+    Sha256() noexcept { reset(); }
+
+    /// Resets to the initial hash state (allows object reuse).
+    void reset() noexcept;
+
+    /// Absorbs `data`; may be called repeatedly.
+    void update(BytesView data) noexcept;
+
+    /// Finalizes and returns the digest.  The object must be reset() before
+    /// further use.
+    [[nodiscard]] Digest finish() noexcept;
+
+private:
+    void process_block(const std::uint8_t* block) noexcept;
+
+    std::uint32_t state_[8]{};
+    std::uint64_t total_len_ = 0;
+    std::uint8_t buffer_[64]{};
+    std::size_t buffer_len_ = 0;
+};
+
+/// One-shot convenience wrapper.
+[[nodiscard]] Digest sha256(BytesView data) noexcept;
+
+}  // namespace rbft::crypto

@@ -1,0 +1,81 @@
+// Experiment harness: drives a system under test with a workload and
+// measures completion throughput and latency in a measurement window.
+//
+// Every bench binary (one per paper table/figure) builds on these helpers;
+// the relative-throughput figures are computed as
+//   throughput(attack) / throughput(fault-free)
+// with identical workloads and seeds, exactly as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "sim/simulator.hpp"
+#include "workload/client.hpp"
+#include "workload/load.hpp"
+
+namespace rbft::exp {
+
+struct RunResult {
+    double kreq_s = 0.0;          // completed requests per second (measured window)
+    double mean_latency_ms = 0.0; // mean completion latency in window
+    double p50_ms = 0.0;
+    double p99_ms = 0.0;
+    std::uint64_t sent = 0;
+    std::uint64_t completed = 0;
+};
+
+/// Measures the completions of `clients` between `from` and `to`.
+[[nodiscard]] inline RunResult measure_window(
+    const std::vector<std::unique_ptr<workload::ClientEndpoint>>& clients, TimePoint from,
+    TimePoint to) {
+    RunResult r;
+    double latency_sum = 0.0;
+    std::vector<double> lats;
+    for (const auto& c : clients) {
+        r.sent += c->sent();
+        for (const auto& [t, lat] : c->completions().points) {
+            if (t >= from.seconds() && t < to.seconds()) {
+                ++r.completed;
+                latency_sum += lat;
+                lats.push_back(lat);
+            }
+        }
+    }
+    const double window_s = (to - from).seconds();
+    r.kreq_s = window_s > 0 ? static_cast<double>(r.completed) / window_s / 1000.0 : 0.0;
+    if (!lats.empty()) {
+        r.mean_latency_ms = latency_sum / static_cast<double>(lats.size());
+        std::sort(lats.begin(), lats.end());
+        r.p50_ms = lats[lats.size() / 2];
+        r.p99_ms = lats[(lats.size() * 99) / 100];
+    }
+    return r;
+}
+
+/// Builds `count` client endpoints with the given behaviour.
+template <typename Net, typename Keys>
+[[nodiscard]] std::vector<std::unique_ptr<workload::ClientEndpoint>> make_clients(
+    sim::Simulator& simulator, Net& network, const Keys& keys, std::uint32_t n, std::uint32_t f,
+    std::uint32_t count, workload::ClientBehavior behavior = {}, std::uint32_t first_id = 0) {
+    std::vector<std::unique_ptr<workload::ClientEndpoint>> clients;
+    clients.reserve(count);
+    for (std::uint32_t c = 0; c < count; ++c) {
+        clients.push_back(std::make_unique<workload::ClientEndpoint>(
+            ClientId{first_id + c}, simulator, network, keys, n, f, behavior));
+    }
+    return clients;
+}
+
+[[nodiscard]] inline std::vector<workload::ClientEndpoint*> client_ptrs(
+    const std::vector<std::unique_ptr<workload::ClientEndpoint>>& clients) {
+    std::vector<workload::ClientEndpoint*> out;
+    out.reserve(clients.size());
+    for (const auto& c : clients) out.push_back(c.get());
+    return out;
+}
+
+}  // namespace rbft::exp

@@ -1,0 +1,41 @@
+// Flood traffic: syntactically well-formed frames whose authenticator is
+// garbage.  Worst-attack-1/2 (§VI-C) have faulty nodes and faulty replicas
+// "flood the correct ones with invalid messages of the maximal size"; a
+// correct receiver pays the MAC-verification attempt, discards the message,
+// and counts the failure toward the sender's flood score (which eventually
+// closes that sender's NIC, §V).
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+#include "net/message.hpp"
+
+namespace rbft::net {
+
+class FloodMsg final : public Message {
+public:
+    /// Which module of the receiving node the fake frame impersonates — it
+    /// determines the core that pays the discarded verification.
+    enum class Target : std::uint8_t { kPropagation, kReplica };
+
+    FloodMsg(std::size_t bytes, Target target, InstanceId instance = InstanceId{0})
+        : bytes_(bytes), target_(target), instance_(instance) {}
+
+    [[nodiscard]] MsgType type() const noexcept override { return MsgType::kFlood; }
+    [[nodiscard]] std::string_view name() const noexcept override { return "FLOOD"; }
+    [[nodiscard]] std::size_t wire_size() const noexcept override { return bytes_; }
+    [[nodiscard]] Target target() const noexcept { return target_; }
+    [[nodiscard]] InstanceId instance() const noexcept { return instance_; }
+
+private:
+    std::size_t bytes_;
+    Target target_;
+    InstanceId instance_;
+};
+
+/// Conventional "maximal size" used by flooding attackers (UDP datagram
+/// limit, also roughly the largest message the paper's 4 kB workload makes).
+inline constexpr std::size_t kMaxFloodBytes = 9000;
+
+}  // namespace rbft::net

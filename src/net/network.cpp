@@ -1,0 +1,127 @@
+#include "net/network.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace rbft::net {
+
+Network::Network(sim::Simulator& simulator, std::uint32_t node_count, Rng rng,
+                 ChannelParams node_channel, ChannelParams client_channel)
+    : simulator_(simulator),
+      node_count_(node_count),
+      rng_(rng),
+      node_channel_(node_channel),
+      client_channel_(client_channel) {}
+
+void Network::register_node(NodeId id, Handler handler) {
+    auto [it, inserted] = nodes_.try_emplace(
+        raw(id), node_count_, node_channel_.bandwidth_bps, client_channel_.bandwidth_bps);
+    it->second.handler = std::move(handler);
+    (void)inserted;
+}
+
+void Network::register_client(ClientId id, Handler handler) {
+    auto [it, inserted] = clients_.try_emplace(raw(id), client_channel_.bandwidth_bps);
+    it->second.handler = std::move(handler);
+    (void)inserted;
+}
+
+const ChannelParams& Network::params_for(Address from, Address to) const noexcept {
+    const bool node_to_node =
+        from.kind == Address::Kind::kNode && to.kind == Address::Kind::kNode;
+    return node_to_node ? node_channel_ : client_channel_;
+}
+
+Duration Network::sample_latency(const ChannelParams& p) {
+    const double jitter = rng_.next_double() * p.jitter_frac;
+    return p.latency * (1.0 + jitter) + p.ack_overhead;
+}
+
+std::uint64_t Network::channel_key(Address from, Address to) const noexcept {
+    const auto pack = [](Address a) -> std::uint64_t {
+        return (static_cast<std::uint64_t>(a.kind) << 31) | a.index;
+    };
+    return (pack(from) << 32) | pack(to);
+}
+
+Nic& Network::nic(NodeId owner, Address remote) {
+    NodePort& port = nodes_.at(raw(owner));
+    if (remote.kind == Address::Kind::kNode) return port.peer_nics.at(remote.index);
+    return port.client_nic;
+}
+
+void Network::send(Address from, Address to, MessagePtr message) {
+    assert(message != nullptr);
+    const ChannelParams& params = params_for(from, to);
+    const std::size_t bytes = message->wire_size() + params.framing_bytes;
+
+    ++total_messages_;
+    total_bytes_ += bytes;
+
+    // Loss (only meaningful for UDP-style channels).
+    if (params.loss_prob > 0.0 && rng_.next_bool(params.loss_prob)) return;
+
+    // Self-delivery: loopback, no NIC involvement, tiny constant latency.
+    if (from == to) {
+        if (to.kind == Address::Kind::kNode) {
+            if (auto it = nodes_.find(to.index); it != nodes_.end() && it->second.handler) {
+                simulator_.schedule_after(microseconds(2.0), [h = it->second.handler, from, message] {
+                    h(from, message);
+                });
+            }
+        }
+        return;
+    }
+
+    TimePoint arrival = simulator_.now() + sample_latency(params);
+
+    // FIFO channels never deliver out of order.
+    if (params.fifo) {
+        TimePoint& last = fifo_last_[channel_key(from, to)];
+        if (arrival < last) arrival = last;
+        last = arrival;
+    }
+
+    // NIC serialization happens at *arrival* time (the event queue then
+    // orders concurrent arrivals by their actual arrival instants, which is
+    // what lets a non-FIFO channel deliver out of send order).
+    if (to.kind == Address::Kind::kNode) {
+        auto it = nodes_.find(to.index);
+        if (it == nodes_.end() || !it->second.handler) return;
+        simulator_.schedule_at(arrival, [this, to, from, message, bytes, arrival] {
+            auto port = nodes_.find(to.index);
+            if (port == nodes_.end() || !port->second.handler) return;
+            Nic& rx = nic(NodeId{to.index}, from);
+            if (rx.closed(arrival)) {
+                rx.count_drop();
+                return;
+            }
+            const TimePoint ready = rx.serialize(arrival, bytes);
+            simulator_.schedule_at(ready,
+                                   [h = port->second.handler, from, message] { h(from, message); });
+        });
+    } else {
+        auto it = clients_.find(to.index);
+        if (it == clients_.end() || !it->second.handler) return;
+        simulator_.schedule_at(arrival, [this, to, from, message, bytes, arrival] {
+            auto port = clients_.find(to.index);
+            if (port == clients_.end() || !port->second.handler) return;
+            Nic& rx = port->second.nic;
+            if (rx.closed(arrival)) {
+                rx.count_drop();
+                return;
+            }
+            const TimePoint ready = rx.serialize(arrival, bytes);
+            simulator_.schedule_at(ready,
+                                   [h = port->second.handler, from, message] { h(from, message); });
+        });
+    }
+}
+
+void Network::broadcast_to_nodes(Address from, const MessagePtr& message) {
+    for (std::uint32_t i = 0; i < node_count_; ++i) {
+        send(from, Address::node(NodeId{i}), message);
+    }
+}
+
+}  // namespace rbft::net

@@ -1,0 +1,154 @@
+// Simulated network fabric: links, NICs, TCP/UDP channel models.
+//
+// Topology mirrors the paper's testbed (§V, Fig. 6): every node has one NIC
+// dedicated to client traffic and one NIC per other node.  This isolation is
+// what lets RBFT close the NIC of a flooding faulty node "for a given time
+// period" without harming node-to-node communication among correct nodes.
+//
+// Channel models:
+//  * TCP: loss-less, FIFO per (sender, receiver), with per-message framing
+//    overhead and an acknowledgement/flow-control latency surcharge.  This
+//    reproduces Fig. 7's finding that TCP and UDP reach the same peak
+//    throughput but TCP adds ~20% latency.
+//  * UDP: independent per-message delays (reordering possible), optional
+//    loss, smaller framing.
+//
+// Bandwidth is modeled at the *receiving* NIC: a message occupies the NIC
+// for size/bandwidth after its propagation delay, so a flood saturates only
+// the NIC it arrives on.  CPU costs (verification etc.) are charged by the
+// protocol layer, not here — the paper is explicit that crypto, not the
+// network, is the bottleneck.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "net/message.hpp"
+#include "sim/simulator.hpp"
+
+namespace rbft::net {
+
+struct ChannelParams {
+    Duration latency = microseconds(60.0);     // one-way propagation + stack
+    double jitter_frac = 0.10;                 // uniform extra in [0, frac*latency)
+    double bandwidth_bps = 1e9;                // gigabit
+    double loss_prob = 0.0;                    // UDP only
+    bool fifo = true;                          // TCP ordering guarantee
+    std::size_t framing_bytes = 66;            // Ethernet+IP+TCP headers
+    Duration ack_overhead = microseconds(60.0);// TCP ack/flow-control surcharge
+
+    [[nodiscard]] static ChannelParams tcp() { return {}; }
+    [[nodiscard]] static ChannelParams udp() {
+        ChannelParams p;
+        p.loss_prob = 0.0;  // LAN: negligible; tests raise it for fault injection
+        p.fifo = false;
+        p.framing_bytes = 46;
+        p.ack_overhead = Duration{};
+        return p;
+    }
+};
+
+/// One receive-side NIC: bandwidth serialization + administrative close.
+class Nic {
+public:
+    explicit Nic(double bandwidth_bps) : bandwidth_bps_(bandwidth_bps) {}
+
+    /// True if the NIC is administratively closed at `now`.
+    [[nodiscard]] bool closed(TimePoint now) const noexcept { return now < closed_until_; }
+
+    /// Closes the NIC until now + d (flood defense, paper §V).
+    void close_for(TimePoint now, Duration d) noexcept {
+        if (now + d > closed_until_) closed_until_ = now + d;
+    }
+
+    /// Serializes an arriving message of `bytes` and returns its ready time.
+    [[nodiscard]] TimePoint serialize(TimePoint arrival, std::size_t bytes) noexcept {
+        const TimePoint start = std::max(arrival, busy_until_);
+        const auto transfer =
+            Duration{static_cast<std::int64_t>(static_cast<double>(bytes) * 8.0 / bandwidth_bps_ * 1e9)};
+        busy_until_ = start + transfer;
+        bytes_in_ += bytes;
+        ++messages_in_;
+        return busy_until_;
+    }
+
+    void count_drop() noexcept { ++dropped_; }
+
+    [[nodiscard]] std::uint64_t bytes_in() const noexcept { return bytes_in_; }
+    [[nodiscard]] std::uint64_t messages_in() const noexcept { return messages_in_; }
+    [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+private:
+    double bandwidth_bps_;
+    TimePoint busy_until_{};
+    TimePoint closed_until_{};
+    std::uint64_t bytes_in_ = 0;
+    std::uint64_t messages_in_ = 0;
+    std::uint64_t dropped_ = 0;
+};
+
+class Network {
+public:
+    /// Handler invoked when a message is fully received at an endpoint.
+    using Handler = std::function<void(Address from, const MessagePtr& message)>;
+
+    Network(sim::Simulator& simulator, std::uint32_t node_count, Rng rng,
+            ChannelParams node_channel = ChannelParams::tcp(),
+            ChannelParams client_channel = ChannelParams::tcp());
+
+    void register_node(NodeId id, Handler handler);
+    void register_client(ClientId id, Handler handler);
+
+    /// Sends `message` from `from` to `to`.  Unregistered destinations are
+    /// counted as dropped.
+    void send(Address from, Address to, MessagePtr message);
+
+    /// Convenience: sends to every node (including `from` if it is a node;
+    /// self-delivery short-circuits the wire with loopback latency).
+    void broadcast_to_nodes(Address from, const MessagePtr& message);
+
+    /// Receive NIC of node `owner` facing `remote` (a peer node or, for any
+    /// client, the shared client NIC).
+    [[nodiscard]] Nic& nic(NodeId owner, Address remote);
+
+    [[nodiscard]] std::uint32_t node_count() const noexcept { return node_count_; }
+    [[nodiscard]] sim::Simulator& simulator() noexcept { return simulator_; }
+
+    [[nodiscard]] std::uint64_t total_messages() const noexcept { return total_messages_; }
+    [[nodiscard]] std::uint64_t total_bytes() const noexcept { return total_bytes_; }
+
+private:
+    struct NodePort {
+        Handler handler;
+        std::vector<Nic> peer_nics;  // indexed by peer node id (self unused)
+        Nic client_nic;
+        NodePort(std::uint32_t node_count, double node_bw, double client_bw)
+            : peer_nics(node_count, Nic(node_bw)), client_nic(client_bw) {}
+    };
+    struct ClientPort {
+        Handler handler;
+        Nic nic;
+        explicit ClientPort(double bw) : nic(bw) {}
+    };
+
+    [[nodiscard]] const ChannelParams& params_for(Address from, Address to) const noexcept;
+    [[nodiscard]] Duration sample_latency(const ChannelParams& p);
+    [[nodiscard]] std::uint64_t channel_key(Address from, Address to) const noexcept;
+
+    sim::Simulator& simulator_;
+    std::uint32_t node_count_;
+    Rng rng_;
+    ChannelParams node_channel_;
+    ChannelParams client_channel_;
+    std::unordered_map<std::uint32_t, NodePort> nodes_;
+    std::unordered_map<std::uint32_t, ClientPort> clients_;
+    std::unordered_map<std::uint64_t, TimePoint> fifo_last_;  // per ordered channel
+    std::uint64_t total_messages_ = 0;
+    std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace rbft::net

@@ -1,0 +1,111 @@
+// Wire serialization: little-endian, length-prefixed, no alignment.
+//
+// Every protocol message implements encode(WireWriter&)/decode(WireReader&).
+// The simulator's hot path passes messages as shared pointers; wire_size()
+// (used for link/CPU cost accounting) models the *production* encoding
+// (128-byte RSA signatures, no simulation side-channels), while
+// encode()/decode() serialize the full simulation state — round-trip tests
+// assert field fidelity.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.hpp"
+#include "common/types.hpp"
+
+namespace rbft::net {
+
+class WireWriter {
+public:
+    void u8(std::uint8_t v) { buf_.push_back(v); }
+    void u16(std::uint16_t v) { put_le(v); }
+    void u32(std::uint32_t v) { put_le(v); }
+    void u64(std::uint64_t v) { put_le(v); }
+
+    void bytes(BytesView b) {
+        u32(static_cast<std::uint32_t>(b.size()));
+        buf_.insert(buf_.end(), b.begin(), b.end());
+    }
+
+    void raw(BytesView b) { buf_.insert(buf_.end(), b.begin(), b.end()); }
+
+    void digest(const Digest& d) { raw(BytesView(d.bytes.data(), d.bytes.size())); }
+
+    [[nodiscard]] const Bytes& buffer() const noexcept { return buf_; }
+    [[nodiscard]] Bytes take() noexcept { return std::move(buf_); }
+    [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+
+private:
+    template <typename T>
+    void put_le(T v) {
+        for (std::size_t i = 0; i < sizeof(T); ++i) {
+            buf_.push_back(static_cast<std::uint8_t>(v >> (i * 8)));
+        }
+    }
+
+    Bytes buf_;
+};
+
+/// Bounds-checked reader.  After any failed extraction `ok()` turns false
+/// and all further reads return zero values; callers check once at the end.
+class WireReader {
+public:
+    explicit WireReader(BytesView data) noexcept : data_(data) {}
+
+    std::uint8_t u8() { return get_le<std::uint8_t>(); }
+    std::uint16_t u16() { return get_le<std::uint16_t>(); }
+    std::uint32_t u32() { return get_le<std::uint32_t>(); }
+    std::uint64_t u64() { return get_le<std::uint64_t>(); }
+
+    Bytes bytes() {
+        const std::uint32_t n = u32();
+        if (!ok_ || pos_ + n > data_.size()) {
+            ok_ = false;
+            return {};
+        }
+        Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                  data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+        pos_ += n;
+        return out;
+    }
+
+    Digest digest() {
+        Digest d;
+        if (pos_ + d.bytes.size() > data_.size()) {
+            ok_ = false;
+            return d;
+        }
+        std::memcpy(d.bytes.data(), data_.data() + pos_, d.bytes.size());
+        pos_ += d.bytes.size();
+        return d;
+    }
+
+    [[nodiscard]] bool ok() const noexcept { return ok_; }
+    [[nodiscard]] bool exhausted() const noexcept { return pos_ == data_.size(); }
+    [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
+
+private:
+    template <typename T>
+    T get_le() {
+        if (pos_ + sizeof(T) > data_.size()) {
+            ok_ = false;
+            return T{};
+        }
+        T v{};
+        for (std::size_t i = 0; i < sizeof(T); ++i) {
+            v = static_cast<T>(v | (static_cast<std::uint64_t>(data_[pos_ + i]) << (i * 8)));
+        }
+        pos_ += sizeof(T);
+        return v;
+    }
+
+    BytesView data_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+}  // namespace rbft::net

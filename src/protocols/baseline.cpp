@@ -1,0 +1,134 @@
+#include "protocols/baseline.hpp"
+
+namespace rbft::protocols {
+
+BaselineNode::BaselineNode(BaselineConfig config, sim::Simulator& simulator,
+                           net::Network& network, const crypto::KeyStore& keys,
+                           const crypto::CostModel& costs,
+                           std::unique_ptr<core::Service> service)
+    : config_(config),
+      simulator_(simulator),
+      network_(network),
+      keys_(keys),
+      costs_(costs),
+      service_(std::move(service)),
+      cpu_(1) {
+    bft::EngineConfig ec;
+    ec.instance = InstanceId{0};
+    ec.node = config_.id;
+    ec.n = config_.n;
+    ec.f = config_.f;
+    ec.batch_max = config_.batch_max;
+    ec.batch_max_bytes = config_.batch_max_bytes;
+    ec.batch_delay = config_.batch_delay;
+    ec.order_full_requests = config_.order_full_requests;
+    ec.rotating_primary = config_.rotating_primary;
+    ec.checkpoint_interval = config_.checkpoint_interval;
+    engine_ = std::make_unique<bft::InstanceEngine>(ec, simulator_, cpu_.core(0), keys_,
+                                                    costs_, *this);
+}
+
+void BaselineNode::on_message(net::Address from, const net::MessagePtr& m) {
+    if (faulty_) return;
+
+    if (m->type() == net::MsgType::kRequest) {
+        auto req = std::static_pointer_cast<const bft::RequestMsg>(m);
+        if (blacklisted_clients_.contains(req->client)) return;
+        if (cpu_.core(0).backlog(simulator_) > config_.max_client_queue_delay) {
+            ++stats_.requests_shed;  // bounded client queue overflow
+            return;
+        }
+
+        Duration cost = costs_.recv_overhead + costs_.digest(req->payload.size()) + costs_.mac_op;
+        if (config_.verify_client_signatures) cost += costs_.sig_verify_op;
+        cpu_.core(0).submit(simulator_, cost, [this, req] {
+            if ((req->corrupt_mac_mask >> raw(config_.id)) & 1) {
+                ++stats_.requests_invalid;
+                return;
+            }
+            if (config_.verify_client_signatures && req->corrupt_sig) {
+                ++stats_.requests_invalid;
+                blacklisted_clients_.insert(req->client);
+                return;
+            }
+            ++stats_.requests_verified;
+            offered_window_.add(1);
+
+            if (auto it = last_reply_.find(req->client);
+                it != last_reply_.end() && it->second.first == req->rid) {
+                ++stats_.replies_resent;
+                cpu_.core(0).charge(simulator_, costs_.send_overhead);
+                network_.send(net::Address::node(config_.id), net::Address::client(req->client),
+                              std::make_shared<bft::ReplyMsg>(it->second.second));
+                return;
+            }
+            const RequestKey key{req->client, req->rid};
+            if (executed_.contains(key)) return;
+            known_requests_[key] = req;
+            on_request_verified(req);
+        });
+        return;
+    }
+
+    if (m->type() == net::MsgType::kFlood) {
+        cpu_.core(0).charge(simulator_, costs_.recv_overhead +
+                                            costs_.digest(m->wire_size()) + costs_.mac_op);
+        return;
+    }
+
+    if (from.kind != net::Address::Kind::kNode) return;
+    engine_->on_message(NodeId{from.index}, m);
+}
+
+void BaselineNode::on_request_verified(const std::shared_ptr<const bft::RequestMsg>& req) {
+    bft::RequestRef ref;
+    ref.client = req->client;
+    ref.rid = req->rid;
+    ref.digest = req->digest;
+    ref.payload_bytes = static_cast<std::uint32_t>(req->payload.size());
+    engine_->submit(ref);
+}
+
+void BaselineNode::engine_send(InstanceId, NodeId dest, net::MessagePtr m) {
+    network_.send(net::Address::node(config_.id), net::Address::node(dest), std::move(m));
+}
+
+void BaselineNode::engine_ordered(const bft::OrderedBatch& batch) {
+    ordered_window_.add(batch.requests.size());
+    for (const auto& ref : batch.requests) execute_request(ref);
+    on_batch_executed(batch);
+}
+
+void BaselineNode::execute_request(const bft::RequestRef& ref) {
+    auto it = known_requests_.find(ref.key());
+    if (it == known_requests_.end()) return;  // body never arrived here
+    if (executed_.contains(ref.key())) return;
+    const auto req = it->second;
+
+    const Duration cost = req->exec_cost + costs_.mac_op + costs_.send_overhead;
+    cpu_.core(0).submit(simulator_, cost, [this, req] {
+        const RequestKey key{req->client, req->rid};
+        if (executed_.contains(key)) return;
+        executed_.insert(key);
+        ++stats_.requests_executed;
+
+        bft::ReplyMsg reply;
+        reply.client = req->client;
+        reply.rid = req->rid;
+        reply.node = config_.id;
+        reply.result = service_->execute(req->client, req->payload);
+        reply.mac = crypto::compute_mac(
+            keys_.pairwise_key(crypto::Principal::node(config_.id),
+                               crypto::Principal::client(req->client)),
+            BytesView(reply.result.data(), reply.result.size()));
+        last_reply_[req->client] = {req->rid, reply};
+        network_.send(net::Address::node(config_.id), net::Address::client(req->client),
+                      std::make_shared<bft::ReplyMsg>(reply));
+    });
+}
+
+void BaselineNode::on_batch_executed(const bft::OrderedBatch&) {}
+
+void BaselineNode::engine_view_installed(InstanceId, ViewId) {}
+
+}  // namespace rbft::protocols

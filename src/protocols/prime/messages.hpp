@@ -1,0 +1,113 @@
+// Prime protocol messages (§III-A).
+//
+// Prime relies on signatures for every protocol message (one reason for its
+// high latency, §VI-B).  Request dissemination uses PO-REQUEST/PO-ACK: a
+// replica receiving client requests aggregates them into a signed
+// PO-REQUEST; a PO-REQUEST certified by 2f PO-ACKs becomes eligible for
+// ordering.  The primary periodically broadcasts a signed ORDER message
+// carrying a cumulative coverage vector (how far along each origin's
+// PO-REQUEST sequence execution may proceed).  RTT probes feed the delay
+// monitor that bounds how late a correct primary's ORDER may be.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "bft/messages.hpp"
+#include "net/message.hpp"
+
+namespace rbft::protocols::prime {
+
+/// Identifies one PO-REQUEST: origin replica and its local sequence.
+struct PoId {
+    NodeId origin{};
+    std::uint64_t seq = 0;
+    auto operator<=>(const PoId&) const = default;
+};
+
+class PoRequestMsg final : public net::Message {
+public:
+    PoId id{};
+    std::vector<std::shared_ptr<const bft::RequestMsg>> requests;
+    crypto::Signature sig{};
+
+    [[nodiscard]] net::MsgType type() const noexcept override { return net::MsgType::kPoRequest; }
+    [[nodiscard]] std::string_view name() const noexcept override { return "PO-REQUEST"; }
+    [[nodiscard]] std::size_t wire_size() const noexcept override {
+        std::size_t body = 0;
+        for (const auto& r : requests) body += r->wire_size();
+        return net::kFrameHeaderBytes + 4 + 8 + 4 + body + net::kSignatureBytes;
+    }
+};
+
+class PoAckMsg final : public net::Message {
+public:
+    PoId id{};
+    NodeId acker{};
+    crypto::Signature sig{};
+
+    [[nodiscard]] net::MsgType type() const noexcept override { return net::MsgType::kPoAck; }
+    [[nodiscard]] std::string_view name() const noexcept override { return "PO-ACK"; }
+    [[nodiscard]] std::size_t wire_size() const noexcept override {
+        return net::kFrameHeaderBytes + 4 + 8 + 4 + 32 + net::kSignatureBytes;
+    }
+};
+
+class PrimeOrderMsg final : public net::Message {
+public:
+    NodeId primary{};
+    std::uint64_t order_seq = 0;
+    /// coverage[i] = execution may proceed through origin i's PO-REQUESTs
+    /// up to this sequence (cumulative).
+    std::vector<std::uint64_t> coverage;
+    crypto::Signature sig{};
+
+    [[nodiscard]] net::MsgType type() const noexcept override { return net::MsgType::kPrimeOrder; }
+    [[nodiscard]] std::string_view name() const noexcept override { return "ORDER"; }
+    [[nodiscard]] std::size_t wire_size() const noexcept override {
+        return net::kFrameHeaderBytes + 4 + 8 + 4 + coverage.size() * 8 + net::kSignatureBytes;
+    }
+};
+
+class RttProbeMsg final : public net::Message {
+public:
+    NodeId sender{};
+    std::uint64_t nonce = 0;
+
+    [[nodiscard]] net::MsgType type() const noexcept override { return net::MsgType::kRttProbe; }
+    [[nodiscard]] std::string_view name() const noexcept override { return "RTT-PROBE"; }
+    [[nodiscard]] std::size_t wire_size() const noexcept override {
+        return net::kFrameHeaderBytes + 4 + 8 + net::kMacBytes;
+    }
+};
+
+class RttEchoMsg final : public net::Message {
+public:
+    NodeId responder{};
+    std::uint64_t nonce = 0;
+
+    [[nodiscard]] net::MsgType type() const noexcept override { return net::MsgType::kRttEcho; }
+    [[nodiscard]] std::string_view name() const noexcept override { return "RTT-ECHO"; }
+    [[nodiscard]] std::size_t wire_size() const noexcept override {
+        return net::kFrameHeaderBytes + 4 + 8 + net::kMacBytes;
+    }
+};
+
+/// Vote to rotate away from a primary whose ORDERs violate the delay bound.
+class PrimeSuspectMsg final : public net::Message {
+public:
+    NodeId sender{};
+    /// Rotation round this vote applies to.
+    std::uint64_t round = 0;
+    crypto::Signature sig{};
+
+    [[nodiscard]] net::MsgType type() const noexcept override { return net::MsgType::kPrimeSuspect; }
+    [[nodiscard]] std::string_view name() const noexcept override { return "SUSPECT"; }
+    [[nodiscard]] std::size_t wire_size() const noexcept override {
+        return net::kFrameHeaderBytes + 4 + 8 + net::kSignatureBytes;
+    }
+};
+
+}  // namespace rbft::protocols::prime

@@ -1,0 +1,37 @@
+#include "rbft/cluster.hpp"
+
+namespace rbft::core {
+
+Cluster::Cluster(ClusterConfig config, ServiceFactory service_factory)
+    : config_(config), keys_(config.seed) {
+    const auto channel =
+        config_.use_udp ? net::ChannelParams::udp() : net::ChannelParams::tcp();
+    network_ = std::make_unique<net::Network>(simulator_, config_.n(), Rng(config_.seed),
+                                              channel, channel);
+
+    for (std::uint32_t i = 0; i < config_.n(); ++i) {
+        NodeConfig nc;
+        nc.id = NodeId{i};
+        nc.n = config_.n();
+        nc.f = config_.f;
+        nc.batch_max = config_.batch_max;
+        nc.batch_delay = config_.batch_delay;
+        nc.order_full_requests = config_.order_full_requests;
+        nc.checkpoint_interval = config_.checkpoint_interval;
+        nc.monitoring = config_.monitoring;
+        nc.flood_defense = config_.flood_defense;
+        nc.instances_override = config_.instances_override;
+        nodes_.push_back(std::make_unique<Node>(nc, simulator_, *network_, keys_,
+                                                config_.costs, service_factory()));
+        Node* node = nodes_.back().get();
+        network_->register_node(NodeId{i}, [node](net::Address from, const net::MessagePtr& m) {
+            node->on_message(from, m);
+        });
+    }
+}
+
+void Cluster::start() {
+    for (auto& node : nodes_) node->start();
+}
+
+}  // namespace rbft::core

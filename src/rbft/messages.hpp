@@ -1,0 +1,67 @@
+// RBFT-specific messages: PROPAGATE (request dissemination, §IV-B step 2)
+// and INSTANCE_CHANGE (§IV-D).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "bft/messages.hpp"
+#include "net/message.hpp"
+#include "net/wire.hpp"
+
+namespace rbft::core {
+
+/// 〈PROPAGATE, 〈REQUEST…〉σc, i〉~μi — a node forwards a verified client
+/// request to all other nodes so that every correct node eventually hands
+/// the same requests to its local replicas.
+class PropagateMsg final : public net::Message {
+public:
+    /// The embedded (signed) client request.
+    std::shared_ptr<const bft::RequestMsg> request;
+    NodeId sender{};
+    crypto::MacAuthenticator auth{};
+    /// Byzantine-node lever: entries failing verification at these nodes.
+    std::uint64_t corrupt_mac_mask = 0;
+
+    [[nodiscard]] net::MsgType type() const noexcept override { return net::MsgType::kPropagate; }
+    [[nodiscard]] std::string_view name() const noexcept override { return "PROPAGATE"; }
+    [[nodiscard]] std::size_t wire_size() const noexcept override {
+        const std::size_t req = request ? request->wire_size() : 0;
+        return net::kFrameHeaderBytes + req + 4 +
+               net::authenticator_bytes(static_cast<std::uint32_t>(auth.macs.size()));
+    }
+
+    void encode(net::WireWriter& w) const {
+        request->encode(w);
+        w.u32(raw(sender));
+        w.u32(static_cast<std::uint32_t>(auth.macs.size()));
+        for (const auto& m : auth.macs) w.raw(BytesView(m.bytes.data(), m.bytes.size()));
+    }
+};
+
+/// 〈INSTANCE_CHANGE, cpi, i〉~μi — vote to replace every instance's primary.
+class InstanceChangeMsg final : public net::Message {
+public:
+    /// The instance-change round this vote applies to (counter cpi, §IV-D).
+    std::uint64_t cpi = 0;
+    NodeId sender{};
+    crypto::MacAuthenticator auth{};
+
+    [[nodiscard]] net::MsgType type() const noexcept override {
+        return net::MsgType::kInstanceChange;
+    }
+    [[nodiscard]] std::string_view name() const noexcept override { return "INSTANCE-CHANGE"; }
+    [[nodiscard]] std::size_t wire_size() const noexcept override {
+        return net::kFrameHeaderBytes + 8 + 4 +
+               net::authenticator_bytes(static_cast<std::uint32_t>(auth.macs.size()));
+    }
+
+    void encode(net::WireWriter& w) const {
+        w.u64(cpi);
+        w.u32(raw(sender));
+        w.u32(static_cast<std::uint32_t>(auth.macs.size()));
+        for (const auto& m : auth.macs) w.raw(BytesView(m.bytes.data(), m.bytes.size()));
+    }
+};
+
+}  // namespace rbft::core

@@ -1,0 +1,519 @@
+#include "rbft/node.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rbft::core {
+
+namespace {
+[[nodiscard]] std::uint64_t address_key(net::Address a) noexcept {
+    return (static_cast<std::uint64_t>(a.kind) << 32) | a.index;
+}
+}  // namespace
+
+Node::Node(NodeConfig config, sim::Simulator& simulator, net::Network& network,
+           const crypto::KeyStore& keys, const crypto::CostModel& costs,
+           std::unique_ptr<Service> service)
+    : config_(config),
+      simulator_(simulator),
+      network_(network),
+      keys_(keys),
+      costs_(costs),
+      service_(std::move(service)),
+      cpu_(config.cores) {
+    const std::uint32_t instances = config_.instance_count();
+    engines_.reserve(instances);
+    for (std::uint32_t i = 0; i < instances; ++i) {
+        bft::EngineConfig ec;
+        ec.instance = InstanceId{i};
+        ec.node = config_.id;
+        ec.n = config_.n;
+        ec.f = config_.f;
+        ec.batch_max = config_.batch_max;
+        ec.batch_delay = config_.batch_delay;
+        ec.order_full_requests = config_.order_full_requests;
+        ec.checkpoint_interval = config_.checkpoint_interval;
+        engines_.push_back(std::make_unique<bft::InstanceEngine>(
+            ec, simulator_, replica_core(InstanceId{i}), keys_, costs_, *this));
+    }
+    ordered_counters_.resize(instances);
+    monitor_series_.resize(instances);
+}
+
+void Node::start() {
+    monitor_timer_.start(simulator_, config_.monitoring.period, [this] { monitoring_tick(); });
+}
+
+// ---------------------------------------------------------------------------
+// Message routing.
+
+void Node::on_message(net::Address from, const net::MessagePtr& m) {
+    if (faulty_) return;  // a Byzantine node's behaviour is driven by src/attacks
+
+    switch (m->type()) {
+        case net::MsgType::kRequest:
+            verification_receive(from, std::static_pointer_cast<const bft::RequestMsg>(m));
+            break;
+        case net::MsgType::kPropagate:
+            if (from.kind == net::Address::Kind::kNode) {
+                propagation_receive(NodeId{from.index},
+                                    std::static_pointer_cast<const PropagateMsg>(m));
+            }
+            break;
+        case net::MsgType::kPrePrepare:
+        case net::MsgType::kPrepare:
+        case net::MsgType::kCommit:
+        case net::MsgType::kCheckpoint:
+        case net::MsgType::kViewChange:
+        case net::MsgType::kNewView: {
+            if (from.kind != net::Address::Kind::kNode) return;
+            InstanceId instance{};
+            switch (m->type()) {
+                case net::MsgType::kPrePrepare:
+                    instance = static_cast<const bft::PrePrepareMsg&>(*m).instance;
+                    break;
+                case net::MsgType::kPrepare:
+                case net::MsgType::kCommit:
+                    instance = static_cast<const bft::PhaseMsg&>(*m).instance;
+                    break;
+                case net::MsgType::kCheckpoint:
+                    instance = static_cast<const bft::CheckpointMsg&>(*m).instance;
+                    break;
+                case net::MsgType::kViewChange:
+                    instance = static_cast<const bft::ViewChangeMsg&>(*m).instance;
+                    break;
+                default:
+                    instance = static_cast<const bft::NewViewMsg&>(*m).instance;
+                    break;
+            }
+            if (raw(instance) >= engines_.size()) return;
+            engines_[raw(instance)]->on_message(NodeId{from.index}, m);
+            break;
+        }
+        case net::MsgType::kInstanceChange: {
+            if (from.kind != net::Address::Kind::kNode) return;
+            auto ic = std::static_pointer_cast<const InstanceChangeMsg>(m);
+            cpu_.core(kDispatchCore)
+                .submit(simulator_, costs_.recv_overhead + costs_.digest(m->wire_size()) + costs_.mac_op,
+                        [this, from, ic] { handle_instance_change(NodeId{from.index}, *ic); });
+            break;
+        }
+        case net::MsgType::kFlood: {
+            const auto& flood = static_cast<const net::FloodMsg&>(*m);
+            ++stats_.floods_received;
+            const Duration cost =
+                costs_.recv_overhead + costs_.digest(flood.wire_size()) + costs_.mac_op;
+            if (flood.target() == net::FloodMsg::Target::kPropagation) {
+                cpu_.core(kPropagationCore).charge(simulator_, cost);
+            } else if (raw(flood.instance()) < engines_.size()) {
+                replica_core(flood.instance()).charge(simulator_, cost);
+            }
+            count_invalid(from);
+            break;
+        }
+        default:
+            break;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Step 1: Verification module.
+
+void Node::verification_receive(net::Address from,
+                                std::shared_ptr<const bft::RequestMsg> req) {
+    if (blacklisted_clients_.contains(req->client)) return;
+
+    // Retransmission of the last executed request: verify and resend the
+    // cached reply (paper §IV-B step 1).
+    if (auto it = last_reply_.find(req->client);
+        it != last_reply_.end() && it->second.first == req->rid) {
+        const Duration cost =
+            costs_.recv_overhead + costs_.digest(req->payload.size()) + costs_.mac_op;
+        cpu_.core(kVerificationCore).submit(simulator_, cost, [this, req] {
+            if ((req->corrupt_mac_mask >> raw(config_.id)) & 1) return;
+            auto again = last_reply_.find(req->client);
+            if (again == last_reply_.end() || again->second.first != req->rid) return;
+            ++stats_.replies_resent;
+            cpu_.core(kExecutionCore).charge(simulator_, costs_.send_overhead);
+            send_reply(req->client, again->second.second);
+        });
+        return;
+    }
+
+    // Cheap dedup before any crypto: a request already adopted (or being
+    // verified) via either path is dropped without re-hashing its body.
+    if (auto it = requests_.find(RequestKey{req->client, req->rid});
+        it != requests_.end() && (it->second.request || it->second.verifying)) {
+        cpu_.core(kVerificationCore).charge(simulator_, costs_.recv_overhead);
+        return;
+    }
+    if (cpu_.core(kVerificationCore).backlog(simulator_) > milliseconds(50.0)) {
+        return;  // bounded client queue: shed under overload
+    }
+    requests_[RequestKey{req->client, req->rid}].verifying = true;
+
+    // MAC authenticator check: hash the body once, check our entry.
+    const Duration mac_cost =
+        costs_.recv_overhead + costs_.digest(req->payload.size()) + costs_.mac_op;
+    cpu_.core(kVerificationCore).submit(simulator_, mac_cost, [this, from, req] {
+        RequestState& st = requests_[RequestKey{req->client, req->rid}];
+        st.digest_computed = true;
+        if ((req->corrupt_mac_mask >> raw(config_.id)) & 1) {
+            ++stats_.requests_invalid_mac;
+            st.verifying = false;
+            count_invalid(from);
+            return;
+        }
+        // Signature check (body digest already computed above).
+        cpu_.core(kVerificationCore)
+            .submit(simulator_, costs_.sig_verify_op, [this, req] {
+                if (req->corrupt_sig) {
+                    ++stats_.requests_invalid_sig;
+                    blacklisted_clients_.insert(req->client);
+                    return;
+                }
+                ++stats_.requests_verified;
+
+                // Already executed?  Resend the cached reply (§IV-B step 1).
+                if (auto it = last_reply_.find(req->client);
+                    it != last_reply_.end() && it->second.first == req->rid) {
+                    ++stats_.replies_resent;
+                    cpu_.core(kExecutionCore).charge(simulator_, costs_.send_overhead);
+                    send_reply(req->client, it->second.second);
+                    return;
+                }
+                if (executed_.contains(RequestKey{req->client, req->rid})) return;
+
+                // Hand over to the Propagation module.
+                cpu_.core(kPropagationCore)
+                    .submit(simulator_, Duration{}, [this, req] { propagation_self(req); });
+            });
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Step 2: Propagation module.
+
+void Node::propagation_self(const std::shared_ptr<const bft::RequestMsg>& req) {
+    const RequestKey key{req->client, req->rid};
+    RequestState& state = requests_[key];
+    if (state.self_propagated) return;
+    state.self_propagated = true;
+    state.propagated_by.insert(config_.id);
+    if (!state.request) state.request = req;
+
+    auto prop = std::make_shared<PropagateMsg>();
+    prop->request = req;
+    prop->sender = config_.id;
+    prop->auth = crypto::make_authenticator(
+        keys_, crypto::Principal::node(config_.id), config_.n,
+        BytesView(req->digest.bytes.data(), req->digest.bytes.size()));
+
+    // Generation: one MAC per receiver over the (cached) request digest,
+    // plus per-destination send handling.
+    cpu_.core(kPropagationCore)
+        .charge(simulator_, costs_.authenticator_ops(config_.n) +
+                                costs_.send_overhead * static_cast<std::int64_t>(config_.n - 1));
+    for (std::uint32_t i = 0; i < config_.n; ++i) {
+        if (NodeId{i} == config_.id) continue;
+        network_.send(net::Address::node(config_.id), net::Address::node(NodeId{i}), prop);
+    }
+    maybe_clear(key);
+}
+
+void Node::propagation_receive(NodeId from, std::shared_ptr<const PropagateMsg> msg) {
+    ++stats_.propagates_received;
+    const Duration mac_cost = costs_.recv_overhead + costs_.mac_op;
+    cpu_.core(kPropagationCore).submit(simulator_, mac_cost, [this, from, msg] {
+        if ((msg->corrupt_mac_mask >> raw(config_.id)) & 1) {
+            ++stats_.propagates_invalid;
+            count_invalid(net::Address::node(from));
+            return;
+        }
+        const auto& req = msg->request;
+        if (!req || blacklisted_clients_.contains(req->client)) return;
+        const RequestKey key{req->client, req->rid};
+        RequestState& state = requests_[key];
+        // The sender vouching for the request counts regardless of whether
+        // we have finished verifying the body ourselves.
+        state.propagated_by.insert(from);
+
+        if (!state.request) {
+            if (state.verifying) return;  // verification already queued
+            state.verifying = true;
+            // First sight of this request: the Verification module checks
+            // the embedded client signature before the node adopts it
+            // (§IV-B step 2) — on its own core, so a node whose clients
+            // are unverifiable (worst-attack-1) doesn't stall propagation.
+            // A body hash already computed on this node (even for a failed
+            // MAC check) is reused.
+            const Duration hash_cost =
+                state.digest_computed ? Duration{} : costs_.digest(req->payload.size());
+            state.digest_computed = true;
+            cpu_.core(kVerificationCore)
+                .submit(simulator_, hash_cost + costs_.sig_verify_op,
+                        [this, req, key] {
+                            if (req->corrupt_sig) {
+                                blacklisted_clients_.insert(req->client);
+                                return;
+                            }
+                            RequestState& st = requests_[key];
+                            if (!st.request) st.request = req;
+                            if (!st.self_propagated) propagation_self(req);
+                            maybe_clear(key);
+                        });
+            return;
+        }
+        if (!state.self_propagated) propagation_self(req);
+        maybe_clear(key);
+    });
+}
+
+void Node::maybe_clear(const RequestKey& key) {
+    RequestState& state = requests_[key];
+    if (state.cleared || !state.request) return;
+    if (state.propagated_by.size() < propagate_quorum(config_.f)) return;
+    state.cleared = true;
+    cpu_.core(kDispatchCore).submit(simulator_, microseconds(0.5), [this, key] { dispatch(key); });
+}
+
+// ---------------------------------------------------------------------------
+// Step 3: Dispatch module.
+
+void Node::dispatch(const RequestKey& key) {
+    RequestState& state = requests_[key];
+    if (state.dispatched || !state.request) return;
+    state.dispatched = true;
+    state.dispatch_time = simulator_.now();
+
+    bft::RequestRef ref;
+    ref.client = state.request->client;
+    ref.rid = state.request->rid;
+    ref.digest = state.request->digest;
+    ref.payload_bytes = static_cast<std::uint32_t>(state.request->payload.size());
+    for (auto& engine : engines_) engine->submit(ref);
+}
+
+bool Node::engine_request_cleared(const bft::RequestRef& ref) {
+    auto it = requests_.find(ref.key());
+    return it != requests_.end() && it->second.cleared;
+}
+
+void Node::engine_send(InstanceId, NodeId dest, net::MessagePtr m) {
+    network_.send(net::Address::node(config_.id), net::Address::node(dest), std::move(m));
+}
+
+void Node::engine_view_installed(InstanceId, ViewId) {}
+
+// ---------------------------------------------------------------------------
+// Steps 5-6: ordered batches, execution, replies.
+
+void Node::engine_ordered(const bft::OrderedBatch& batch) {
+    const std::uint32_t idx = raw(batch.instance);
+    ordered_counters_[idx].add(batch.requests.size());
+
+    for (const auto& ref : batch.requests) {
+        auto it = requests_.find(ref.key());
+        if (it != requests_.end() && it->second.dispatched) {
+            const Duration latency = simulator_.now() - it->second.dispatch_time;
+            auto& stats = client_latency_[ref.client];
+            if (stats.sum.size() < engines_.size()) {
+                stats.sum.resize(engines_.size(), 0.0);
+                stats.count.resize(engines_.size(), 0);
+            }
+            stats.sum[idx] += latency.seconds();
+            stats.count[idx] += 1;
+            if (batch.instance == master_instance()) {
+                master_latency_series_[ref.client].add(
+                    static_cast<double>(stats.count[idx]), latency.millis());
+                // Backlog re-ordered right after an instance change carries
+                // stale dispatch times; only judge the new primary on
+                // requests dispatched under its reign.
+                if (it->second.dispatch_time > last_instance_change_) {
+                    latency_check(batch.instance, ref, latency);
+                }
+            }
+        }
+        if (batch.instance == master_instance()) execute(ref);
+    }
+}
+
+void Node::execute(const bft::RequestRef& ref) {
+    auto it = requests_.find(ref.key());
+    if (it == requests_.end() || !it->second.request) return;
+    if (it->second.executed || executed_.contains(ref.key())) return;
+    it->second.executed = true;
+    const auto req = it->second.request;
+
+    const Duration cost = req->exec_cost + costs_.mac_op + costs_.send_overhead;
+    cpu_.core(kExecutionCore).submit(simulator_, cost, [this, req] {
+        const RequestKey key{req->client, req->rid};
+        if (executed_.contains(key)) return;
+        executed_.insert(key);
+        ++stats_.requests_executed;
+
+        bft::ReplyMsg reply;
+        reply.client = req->client;
+        reply.rid = req->rid;
+        reply.node = config_.id;
+        reply.result = service_->execute(req->client, req->payload);
+        reply.mac = crypto::compute_mac(
+            keys_.pairwise_key(crypto::Principal::node(config_.id),
+                               crypto::Principal::client(req->client)),
+            BytesView(reply.result.data(), reply.result.size()));
+        last_reply_[req->client] = {req->rid, reply};
+        send_reply(req->client, reply);
+    });
+}
+
+void Node::send_reply(ClientId client, const bft::ReplyMsg& reply) {
+    network_.send(net::Address::node(config_.id), net::Address::client(client),
+                  std::make_shared<bft::ReplyMsg>(reply));
+}
+
+// ---------------------------------------------------------------------------
+// Monitoring (§IV-C).
+
+void Node::monitoring_tick() {
+    if (faulty_ || !monitoring_enabled_) return;
+    invalid_counts_.clear();
+
+    const double period_s = config_.monitoring.period.seconds();
+    std::vector<std::uint64_t> counts(engines_.size());
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < engines_.size(); ++i) {
+        counts[i] = ordered_counters_[i].take();
+        total += counts[i];
+        monitor_series_[i].add(simulator_.now().seconds(),
+                               static_cast<double>(counts[i]) / period_s / 1000.0);  // kreq/s
+    }
+
+    if (grace_remaining_ > 0) {
+        --grace_remaining_;
+        return;
+    }
+    if (total < config_.monitoring.min_window_requests) {
+        suspicious_ = false;
+        return;
+    }
+
+    const double master_tps = static_cast<double>(counts[0]);
+    double backup_sum = 0.0;
+    for (std::size_t i = 1; i < counts.size(); ++i) backup_sum += static_cast<double>(counts[i]);
+    const double backup_mean = backup_sum / static_cast<double>(counts.size() - 1);
+
+    if (backup_mean <= 0.0) {
+        // No backup progress: either system idle (handled above) or the
+        // backups are under attack; nothing to compare against.
+        suspicious_ = false;
+        return;
+    }
+
+    const double ratio = master_tps / backup_mean;
+    if (ratio < config_.monitoring.delta) {
+        ++bad_window_streak_;
+        if (bad_window_streak_ >= config_.monitoring.consecutive_bad_windows) {
+            suspicious_ = true;
+            vote_instance_change("throughput ratio below delta");
+        }
+    } else {
+        bad_window_streak_ = 0;
+        suspicious_ = false;
+    }
+}
+
+void Node::latency_check(InstanceId, const bft::RequestRef& ref, Duration latency) {
+    const MonitoringConfig& mc = config_.monitoring;
+    if (latency > mc.lambda) {
+        vote_instance_change("request latency above lambda");
+        return;
+    }
+    // Ω: master mean latency for this client vs the backup instances' mean.
+    const auto it = client_latency_.find(ref.client);
+    if (it == client_latency_.end()) return;
+    const ClientLatencyStats& stats = it->second;
+    if (stats.count.empty() || stats.count[0] == 0) return;
+    const double master_mean = stats.sum[0] / static_cast<double>(stats.count[0]);
+    double backup_sum = 0.0;
+    std::uint64_t backup_count = 0;
+    for (std::size_t i = 1; i < stats.count.size(); ++i) {
+        backup_sum += stats.sum[i];
+        backup_count += stats.count[i];
+    }
+    if (backup_count == 0) return;
+    const double backup_mean = backup_sum / static_cast<double>(backup_count);
+    if (master_mean - backup_mean > mc.omega.seconds()) {
+        vote_instance_change("client latency gap above omega");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Instance change (§IV-D).
+
+void Node::vote_instance_change(const char* /*reason*/) {
+    if (voted_current_cpi_ || !monitoring_enabled_) return;
+    voted_current_cpi_ = true;
+    ++stats_.instance_changes_voted;
+
+    auto ic = std::make_shared<InstanceChangeMsg>();
+    ic->cpi = cpi_;
+    ic->sender = config_.id;
+    net::WireWriter w;
+    w.u64(cpi_);
+    ic->auth = crypto::make_authenticator(keys_, crypto::Principal::node(config_.id),
+                                          config_.n, BytesView(w.buffer().data(), w.buffer().size()));
+    cpu_.core(kDispatchCore)
+        .charge(simulator_, costs_.authenticator_ops(config_.n) +
+                                costs_.send_overhead * static_cast<std::int64_t>(config_.n - 1));
+    for (std::uint32_t i = 0; i < config_.n; ++i) {
+        if (NodeId{i} == config_.id) continue;
+        network_.send(net::Address::node(config_.id), net::Address::node(NodeId{i}), ic);
+    }
+    ic_votes_[cpi_].insert(config_.id);
+    if (ic_votes_[cpi_].size() >= commit_quorum(config_.f)) perform_instance_change();
+}
+
+void Node::handle_instance_change(NodeId from, const InstanceChangeMsg& m) {
+    if (m.cpi < cpi_) return;  // vote for a previous round: discard (§IV-D)
+    ic_votes_[m.cpi].insert(from);
+
+    // A node that also observes degradation joins the vote.
+    if (m.cpi == cpi_ && suspicious_ && !voted_current_cpi_) {
+        vote_instance_change("joining observed degradation");
+        return;  // vote_instance_change re-checks the quorum
+    }
+    if (ic_votes_[cpi_].size() >= commit_quorum(config_.f)) perform_instance_change();
+}
+
+void Node::perform_instance_change() {
+    ++stats_.instance_changes_done;
+    last_instance_change_ = simulator_.now();
+    ic_votes_.erase(ic_votes_.begin(), ic_votes_.upper_bound(cpi_));
+    ++cpi_;
+    voted_current_cpi_ = false;
+    for (auto& engine : engines_) engine->start_view_change(next(engine->view()));
+    reset_monitoring_state();
+}
+
+void Node::reset_monitoring_state() {
+    for (auto& counter : ordered_counters_) (void)counter.take();
+    client_latency_.clear();
+    suspicious_ = false;
+    bad_window_streak_ = 0;
+    grace_remaining_ = config_.monitoring.grace_ticks;
+}
+
+// ---------------------------------------------------------------------------
+// Flood defense (§V).
+
+void Node::count_invalid(net::Address from) {
+    const std::uint64_t count = ++invalid_counts_[address_key(from)];
+    if (count == config_.flood_defense.invalid_threshold &&
+        from.kind == net::Address::Kind::kNode) {
+        network_.nic(config_.id, from)
+            .close_for(simulator_.now(), config_.flood_defense.close_duration);
+        ++stats_.nic_closures;
+    }
+}
+
+}  // namespace rbft::core

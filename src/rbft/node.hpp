@@ -1,0 +1,276 @@
+// The RBFT node: one physical machine running f+1 protocol-instance
+// replicas plus the Verification, Propagation, Dispatch & Monitoring and
+// Execution modules (paper Fig. 6).
+//
+// Request life cycle (paper §IV-B, numbering as in Fig. 5):
+//  1. REQUEST arrives on the client NIC; the Verification module checks the
+//     MAC authenticator entry, then the client signature (blacklisting the
+//     client on a bad signature), and short-circuits re-execution by
+//     resending the cached reply.
+//  2. The Propagation module forwards the request in a PROPAGATE to every
+//     other node; once f+1 PROPAGATEs (counting our own) are in, the
+//     request is *cleared* and handed to the Dispatch module.
+//  3-5. Dispatch stamps the request and submits its identifier to each of
+//     the f+1 local InstanceEngines, which run three-phase ordering.
+//  6. Ordered batches come back per instance; master-instance batches go to
+//     the Execution module, which executes and replies to the client.
+//
+// Monitoring (§IV-C): per instance, a window counter of ordered requests is
+// read every `period`; if throughput(master)/mean(throughput(backups)) < Δ
+// the node votes INSTANCE_CHANGE.  Latency monitoring enforces Λ (absolute
+// per-request bound on the master) and Ω (max gap between a client's mean
+// latency on the master vs the backups).
+//
+// Instance change (§IV-D): on 2f+1 INSTANCE_CHANGE votes for the current
+// cpi, every local engine view-changes, moving every primary to the next
+// node; at most one primary per node is preserved by construction.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "bft/engine.hpp"
+#include "bft/messages.hpp"
+#include "common/histogram.hpp"
+#include "common/timeseries.hpp"
+#include "crypto/cost_model.hpp"
+#include "crypto/keystore.hpp"
+#include "net/flood.hpp"
+#include "net/network.hpp"
+#include "rbft/messages.hpp"
+#include "rbft/service.hpp"
+#include "sim/cpu.hpp"
+#include "sim/timer.hpp"
+
+namespace rbft::core {
+
+struct MonitoringConfig {
+    /// Monitoring period (throughput windows, §IV-C).
+    Duration period = milliseconds(100.0);
+    /// Δ: minimum acceptable ratio master-throughput / mean backup
+    /// throughput.  Close to 1 because instances run on identical machines
+    /// and order identical request streams (see DESIGN.md §5).
+    double delta = 0.97;
+    /// Λ: maximal acceptable latency for any master-ordered request.
+    Duration lambda = seconds(10.0);
+    /// Ω: maximal acceptable difference between a client's average latency
+    /// on the master instance and on the backup instances.
+    Duration omega = seconds(10.0);
+    /// Windows with fewer master+backup requests than this are not judged
+    /// (prevents false positives at startup / idle).
+    std::uint64_t min_window_requests = 20;
+    /// Ticks skipped after an instance change (state resettles).
+    std::uint32_t grace_ticks = 2;
+    /// Consecutive below-Δ windows required before voting (smooths out
+    /// single-window batching noise).
+    std::uint32_t consecutive_bad_windows = 2;
+};
+
+struct FloodDefenseConfig {
+    /// Invalid messages from one peer within one monitoring period that
+    /// trigger closing that peer's NIC.
+    std::uint64_t invalid_threshold = 16;
+    /// How long the NIC stays closed (§V: gives the faulty node time to
+    /// restart or get repaired).
+    Duration close_duration = seconds(2.0);
+};
+
+struct NodeConfig {
+    NodeId id{};
+    std::uint32_t n = 4;
+    std::uint32_t f = 1;
+    std::uint32_t cores = 8;
+
+    /// Ordering-engine knobs, shared by all local instances.
+    std::uint32_t batch_max = 64;
+    Duration batch_delay = milliseconds(1.0);
+    bool order_full_requests = false;  // §VI-B ablation
+    std::uint64_t checkpoint_interval = 128;
+
+    MonitoringConfig monitoring{};
+    FloodDefenseConfig flood_defense{};
+
+    /// Number of protocol instances; 0 = the paper's f+1 (necessary and
+    /// sufficient per the companion TR).  Overridable for the ablation
+    /// bench (e.g. 2f+1 instances).
+    std::uint32_t instances_override = 0;
+
+    [[nodiscard]] std::uint32_t instance_count() const noexcept {
+        return instances_override > 0 ? instances_override : f + 1;
+    }
+};
+
+/// Per-node statistics the benches read out.
+struct NodeStats {
+    std::uint64_t requests_verified = 0;
+    std::uint64_t requests_invalid_mac = 0;
+    std::uint64_t requests_invalid_sig = 0;
+    std::uint64_t requests_executed = 0;
+    std::uint64_t replies_resent = 0;
+    std::uint64_t propagates_received = 0;
+    std::uint64_t propagates_invalid = 0;
+    std::uint64_t floods_received = 0;
+    std::uint64_t instance_changes_voted = 0;
+    std::uint64_t instance_changes_done = 0;
+    std::uint64_t nic_closures = 0;
+};
+
+class Node final : public bft::EngineHost {
+public:
+    Node(NodeConfig config, sim::Simulator& simulator, net::Network& network,
+         const crypto::KeyStore& keys, const crypto::CostModel& costs,
+         std::unique_ptr<Service> service);
+
+    Node(const Node&) = delete;
+    Node& operator=(const Node&) = delete;
+
+    /// Network delivery entry point (registered with net::Network).
+    void on_message(net::Address from, const net::MessagePtr& m);
+
+    // -- EngineHost ----------------------------------------------------------
+    void engine_send(InstanceId instance, NodeId dest, net::MessagePtr m) override;
+    void engine_ordered(const bft::OrderedBatch& batch) override;
+    bool engine_request_cleared(const bft::RequestRef& ref) override;
+    void engine_view_installed(InstanceId instance, ViewId view) override;
+
+    // -- Introspection / control ---------------------------------------------
+    [[nodiscard]] const NodeConfig& config() const noexcept { return config_; }
+    [[nodiscard]] const NodeStats& stats() const noexcept { return stats_; }
+    [[nodiscard]] bft::InstanceEngine& engine(InstanceId i) { return *engines_.at(raw(i)); }
+    [[nodiscard]] std::uint32_t instance_count() const noexcept {
+        return static_cast<std::uint32_t>(engines_.size());
+    }
+    /// The master instance is instance 0 (its *primary* moves on instance
+    /// changes; the instance itself is fixed, §IV-A).
+    [[nodiscard]] static constexpr InstanceId master_instance() noexcept { return InstanceId{0}; }
+
+    /// Per-instance throughput series recorded by the monitoring module
+    /// (kreq/s samples, one per period) — Fig. 9 / Fig. 11 data.
+    [[nodiscard]] const Series& monitor_series(InstanceId i) const {
+        return monitor_series_.at(raw(i));
+    }
+    /// Per-request master-instance ordering latencies per client — Fig. 12.
+    [[nodiscard]] const Series& master_latency_series(ClientId c) const {
+        return master_latency_series_.at(c);
+    }
+    [[nodiscard]] std::uint64_t cpi() const noexcept { return cpi_; }
+
+    /// Makes this node Byzantine: replicas abstain, modules stop serving.
+    /// (Faulty traffic itself is generated by src/attacks.)
+    void set_faulty(bool faulty) noexcept {
+        faulty_ = faulty;
+        for (auto& engine : engines_) engine->set_silent(faulty);
+    }
+    [[nodiscard]] bool faulty() const noexcept { return faulty_; }
+
+    /// Disables this node's monitoring votes without silencing its modules
+    /// (worst-attack-2: the faulty node keeps running the master primary
+    /// but never votes or reports honestly).
+    void set_monitoring_enabled(bool enabled) noexcept { monitoring_enabled_ = enabled; }
+
+    /// Starts periodic monitoring (call once after wiring the cluster).
+    void start();
+
+    [[nodiscard]] sim::NodeCpu& cpu() noexcept { return cpu_; }
+
+    // Core pinning (Fig. 6): modules are threads, replicas are processes.
+    static constexpr std::uint32_t kVerificationCore = 0;
+    static constexpr std::uint32_t kPropagationCore = 1;
+    static constexpr std::uint32_t kDispatchCore = 2;
+    static constexpr std::uint32_t kExecutionCore = 3;
+    static constexpr std::uint32_t kFirstReplicaCore = 4;
+
+private:
+    struct RequestState {
+        std::shared_ptr<const bft::RequestMsg> request;
+        std::set<NodeId> propagated_by;
+        /// A signature verification for this request is queued or running;
+        /// duplicate copies (direct or propagated) must not re-verify.
+        bool verifying = false;
+        /// The body hash was already computed on this node (e.g. during a
+        /// failed MAC check); later signature checks reuse it.
+        bool digest_computed = false;
+        bool self_propagated = false;
+        bool cleared = false;
+        bool dispatched = false;
+        TimePoint dispatch_time{};
+        bool executed = false;
+    };
+
+    struct ClientLatencyStats {
+        // Cumulative mean ordering latency per instance (seconds).
+        std::vector<double> sum;
+        std::vector<std::uint64_t> count;
+    };
+
+    // Module handlers.  Each runs on its pinned core after charging cost.
+    void verification_receive(net::Address from, std::shared_ptr<const bft::RequestMsg> req);
+    void propagation_receive(NodeId from, std::shared_ptr<const PropagateMsg> msg);
+    void propagation_self(const std::shared_ptr<const bft::RequestMsg>& req);
+    void maybe_clear(const RequestKey& key);
+    void dispatch(const RequestKey& key);
+    void execute(const bft::RequestRef& ref);
+    void send_reply(ClientId client, const bft::ReplyMsg& reply);
+
+    // Monitoring.
+    void monitoring_tick();
+    void latency_check(InstanceId instance, const bft::RequestRef& ref, Duration latency);
+    void vote_instance_change(const char* reason);
+    void handle_instance_change(NodeId from, const InstanceChangeMsg& m);
+    void perform_instance_change();
+    void reset_monitoring_state();
+
+    // Flood defense.
+    void count_invalid(net::Address from);
+
+    [[nodiscard]] sim::CpuCore& replica_core(InstanceId i) {
+        return cpu_.core(kFirstReplicaCore + raw(i));
+    }
+
+    NodeConfig config_;
+    sim::Simulator& simulator_;
+    net::Network& network_;
+    const crypto::KeyStore& keys_;
+    const crypto::CostModel& costs_;
+    std::unique_ptr<Service> service_;
+    sim::NodeCpu cpu_;
+
+    std::vector<std::unique_ptr<bft::InstanceEngine>> engines_;
+
+    std::unordered_map<RequestKey, RequestState> requests_;
+    std::unordered_set<RequestKey> executed_;
+    std::unordered_map<ClientId, std::pair<RequestId, bft::ReplyMsg>> last_reply_;
+    std::unordered_set<ClientId> blacklisted_clients_;
+
+    // Monitoring state.
+    sim::PeriodicTimer monitor_timer_;
+    std::vector<WindowCounter> ordered_counters_;     // per instance (nbreqs_i)
+    std::vector<Series> monitor_series_;              // per instance
+    std::unordered_map<RequestKey, TimePoint> ordering_started_;
+    std::unordered_map<ClientId, ClientLatencyStats> client_latency_;
+    std::unordered_map<ClientId, Series> master_latency_series_;
+    std::uint32_t grace_remaining_ = 0;
+    std::uint32_t bad_window_streak_ = 0;
+    bool suspicious_ = false;
+
+    // Instance change state.
+    TimePoint last_instance_change_{};
+    std::uint64_t cpi_ = 0;
+    bool voted_current_cpi_ = false;
+    std::map<std::uint64_t, std::set<NodeId>> ic_votes_;
+
+    // Flood defense.
+    std::unordered_map<std::uint64_t, std::uint64_t> invalid_counts_;  // per source
+
+    NodeStats stats_;
+    bool faulty_ = false;
+    bool monitoring_enabled_ = true;
+};
+
+}  // namespace rbft::core

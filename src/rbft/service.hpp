@@ -1,0 +1,30 @@
+// Application interface: the replicated state machine.
+//
+// RBFT (like PBFT) replicates an arbitrary deterministic service.  Nodes
+// execute requests ordered by the master instance and send the result back
+// to the client.  Examples implement this interface (see examples/):
+// a null service for benchmarking, a key-value store, a small ledger.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/types.hpp"
+
+namespace rbft::core {
+
+class Service {
+public:
+    virtual ~Service() = default;
+
+    /// Executes one operation and returns its result.  Must be
+    /// deterministic: every correct node executes the same sequence.
+    virtual Bytes execute(ClientId client, const Bytes& operation) = 0;
+};
+
+/// Service that returns an empty result (used by benches, where execution
+/// cost is modeled by RequestMsg::exec_cost rather than real work).
+class NullService final : public Service {
+public:
+    Bytes execute(ClientId, const Bytes&) override { return {}; }
+};
+
+}  // namespace rbft::core

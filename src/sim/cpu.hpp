@@ -1,0 +1,67 @@
+// Per-core CPU model.
+//
+// Paper Fig. 6: on each node, the Verification, Propagation, Dispatch &
+// Monitoring and Execution modules are threads, the f+1 protocol-instance
+// replicas are processes, and all are pinned to distinct cores of an
+// 8-core machine.  We model a core as a serial queue with a "free at" time:
+// work submitted to a core starts at max(now, free_at) and completes after
+// its CPU cost.  Queueing (and thus saturation behaviour, which defines the
+// throughput curves of Fig. 7) emerges from this.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/time.hpp"
+#include "sim/simulator.hpp"
+
+namespace rbft::sim {
+
+class CpuCore {
+public:
+    /// Submits work costing `cost` CPU time; `done` fires at completion.
+    /// Returns the completion time.
+    TimePoint submit(Simulator& simulator, Duration cost, Simulator::Action done) {
+        const TimePoint start = std::max(simulator.now(), free_at_);
+        const TimePoint finish = start + cost;
+        busy_ += cost;
+        free_at_ = finish;
+        if (done) simulator.schedule_at(finish, std::move(done));
+        return finish;
+    }
+
+    /// Charges CPU time with no completion callback (e.g. discarding an
+    /// invalid message still costs the verification attempt).
+    void charge(Simulator& simulator, Duration cost) {
+        submit(simulator, cost, nullptr);
+    }
+
+    /// Backlog currently queued on this core.
+    [[nodiscard]] Duration backlog(const Simulator& simulator) const noexcept {
+        const Duration lag = free_at_ - simulator.now();
+        return lag.ns > 0 ? lag : Duration{};
+    }
+
+    /// Total CPU time consumed so far (for utilization reporting).
+    [[nodiscard]] Duration busy_time() const noexcept { return busy_; }
+
+private:
+    TimePoint free_at_{};
+    Duration busy_{};
+};
+
+/// The cores of one node.  Modules obtain a stable core by index, mirroring
+/// the paper's pinning.
+class NodeCpu {
+public:
+    explicit NodeCpu(std::uint32_t cores) : cores_(cores) {}
+
+    [[nodiscard]] CpuCore& core(std::uint32_t index) { return cores_.at(index % cores_.size()); }
+    [[nodiscard]] std::uint32_t core_count() const noexcept { return static_cast<std::uint32_t>(cores_.size()); }
+
+private:
+    std::vector<CpuCore> cores_;
+};
+
+}  // namespace rbft::sim

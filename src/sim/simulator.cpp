@@ -1,0 +1,53 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+namespace rbft::sim {
+
+EventId Simulator::schedule_at(TimePoint t, Action action) {
+    const std::uint64_t id = next_id_++;
+    if (t < now_) t = now_;
+    queue_.push(Event{t, next_seq_++, id, std::move(action)});
+    return EventId{id};
+}
+
+void Simulator::cancel(EventId id) {
+    cancelled_.insert(static_cast<std::uint64_t>(id));
+}
+
+std::uint64_t Simulator::run_until(TimePoint limit) {
+    std::uint64_t dispatched = 0;
+    while (!queue_.empty() && queue_.top().at <= limit) {
+        // priority_queue::top is const; move out via const_cast is the
+        // standard idiom here and safe because we pop immediately.
+        Event ev = std::move(const_cast<Event&>(queue_.top()));
+        queue_.pop();
+        if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+            cancelled_.erase(it);
+            continue;
+        }
+        now_ = ev.at;
+        ev.action();
+        ++dispatched;
+    }
+    if (now_ < limit) now_ = limit;
+    return dispatched;
+}
+
+std::uint64_t Simulator::run_all() {
+    std::uint64_t dispatched = 0;
+    while (!queue_.empty()) {
+        Event ev = std::move(const_cast<Event&>(queue_.top()));
+        queue_.pop();
+        if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+            cancelled_.erase(it);
+            continue;
+        }
+        now_ = ev.at;
+        ev.action();
+        ++dispatched;
+    }
+    return dispatched;
+}
+
+}  // namespace rbft::sim

@@ -1,0 +1,81 @@
+// Deterministic discrete-event simulator.
+//
+// This is the substrate substituting for the paper's physical cluster: all
+// nodes, clients, NICs and links live inside one Simulator.  Events fire in
+// (time, insertion-order) order, so runs are bit-reproducible for a given
+// seed.  The simulator is strictly single-threaded; node-level parallelism
+// (the 8 cores of the paper's Xeons) is modeled by sim::CpuCore, not by OS
+// threads.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace rbft::sim {
+
+/// Identifies a scheduled event so protocol timers can be cancelled.
+enum class EventId : std::uint64_t {};
+
+class Simulator {
+public:
+    using Action = std::function<void()>;
+
+    /// Current simulated time.
+    [[nodiscard]] TimePoint now() const noexcept { return now_; }
+
+    /// Schedules `action` at absolute time `t` (clamped to now if in the
+    /// past).  Returns an id usable with cancel().
+    EventId schedule_at(TimePoint t, Action action);
+
+    /// Schedules `action` after `delay` from now.
+    EventId schedule_after(Duration delay, Action action) {
+        return schedule_at(now_ + delay, std::move(action));
+    }
+
+    /// Cancels a pending event.  Cancelling an already-fired or unknown
+    /// event is a no-op (protocol code often races timers against replies).
+    void cancel(EventId id);
+
+    /// Runs events until the queue drains or `limit` is reached; the clock
+    /// ends at min(limit, last event time).  Returns the number of events
+    /// dispatched.
+    std::uint64_t run_until(TimePoint limit);
+
+    /// Runs for `d` more simulated time.
+    std::uint64_t run_for(Duration d) { return run_until(now_ + d); }
+
+    /// Drains the queue completely (use only in tests with finite event
+    /// chains; live protocols reschedule timers forever).
+    std::uint64_t run_all();
+
+    /// Number of events currently pending (cancelled ones may be counted
+    /// until they are lazily discarded).
+    [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+
+private:
+    struct Event {
+        TimePoint at;
+        std::uint64_t seq;  // tie-breaker: FIFO among same-time events
+        std::uint64_t id;
+        Action action;
+    };
+    struct Later {
+        bool operator()(const Event& a, const Event& b) const noexcept {
+            if (a.at != b.at) return a.at > b.at;
+            return a.seq > b.seq;
+        }
+    };
+
+    TimePoint now_{};
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t next_id_ = 1;
+    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    std::unordered_set<std::uint64_t> cancelled_;
+};
+
+}  // namespace rbft::sim

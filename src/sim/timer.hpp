@@ -1,0 +1,80 @@
+// Restartable timers built on the simulator.
+//
+// Protocols use OneShotTimer for timeouts that are armed and disarmed as
+// messages arrive (Aardvark's heartbeat timer, Spinning's Stimeout) and
+// PeriodicTimer for fixed-cadence work (RBFT's monitoring period, Prime's
+// periodic ordering messages).
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "common/time.hpp"
+#include "sim/simulator.hpp"
+
+namespace rbft::sim {
+
+/// A timeout that can be (re-)armed and disarmed.  Re-arming an armed timer
+/// cancels the previous deadline.
+class OneShotTimer {
+public:
+    void arm(Simulator& simulator, Duration delay, std::function<void()> on_fire) {
+        disarm(simulator);
+        armed_ = true;
+        event_ = simulator.schedule_after(delay, [this, fn = std::move(on_fire)] {
+            armed_ = false;
+            fn();
+        });
+    }
+
+    void disarm(Simulator& simulator) {
+        if (armed_) {
+            simulator.cancel(event_);
+            armed_ = false;
+        }
+    }
+
+    [[nodiscard]] bool armed() const noexcept { return armed_; }
+
+private:
+    bool armed_ = false;
+    EventId event_{};
+};
+
+/// Fires `on_tick` every `period` until stopped.  The first tick fires one
+/// full period after start().
+class PeriodicTimer {
+public:
+    void start(Simulator& simulator, Duration period, std::function<void()> on_tick) {
+        stop(simulator);
+        running_ = true;
+        period_ = period;
+        tick_fn_ = std::move(on_tick);
+        schedule(simulator);
+    }
+
+    void stop(Simulator& simulator) {
+        if (running_) {
+            simulator.cancel(event_);
+            running_ = false;
+        }
+    }
+
+    [[nodiscard]] bool running() const noexcept { return running_; }
+
+private:
+    void schedule(Simulator& simulator) {
+        event_ = simulator.schedule_after(period_, [this, &simulator] {
+            if (!running_) return;
+            tick_fn_();
+            if (running_) schedule(simulator);
+        });
+    }
+
+    bool running_ = false;
+    Duration period_{};
+    std::function<void()> tick_fn_;
+    EventId event_{};
+};
+
+}  // namespace rbft::sim

@@ -1,0 +1,205 @@
+// Client endpoint: builds signed requests, sends them open-loop, and
+// collects replies (a request completes when f+1 matching REPLYs from
+// distinct nodes arrive, §IV-B step 6).
+//
+// The paper's workloads are open-loop (§II): clients do not wait for a
+// reply before sending the next request, so a malicious master primary
+// cannot throttle the offered load seen by backup instances.
+//
+// Byzantine-client levers (ClientBehavior) drive the attack experiments:
+// corrupting authenticator entries for selected nodes (worst-attack-1's
+// "requests that can be verified by all nodes but [the primary's node]"),
+// corrupting signatures, inflating execution cost (the Prime RTT attack),
+// or restricting targets.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "bft/messages.hpp"
+#include "common/histogram.hpp"
+#include "common/rng.hpp"
+#include "common/timeseries.hpp"
+#include "crypto/cost_model.hpp"
+#include "crypto/keystore.hpp"
+#include "crypto/sha256.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace rbft::workload {
+
+struct ClientBehavior {
+    std::size_t payload_bytes = 8;
+    /// Simulated execution cost each request carries.
+    Duration exec_cost{};
+    /// REQUEST authenticator entries corrupted for these nodes (bitmask).
+    std::uint64_t corrupt_mac_mask = 0;
+    /// Client signature invalid everywhere (gets the client blacklisted).
+    bool corrupt_sig = false;
+    /// Nodes to send to; empty means all nodes.
+    std::vector<NodeId> targets;
+    /// Send each request to exactly one node, round-robin by request id
+    /// (Prime's client behaviour: "clients send their requests to any
+    /// replica in the system", §III-A).
+    bool round_robin_single = false;
+    /// Retransmit a request that has not completed after this long (0 =
+    /// never).  PBFT-family clients retransmit to trigger the cached-reply
+    /// path and, in the baselines, the primary-suspicion timers.
+    Duration retransmit_timeout{};
+};
+
+class ClientEndpoint {
+public:
+    ClientEndpoint(ClientId id, sim::Simulator& simulator, net::Network& network,
+                   const crypto::KeyStore& keys, std::uint32_t n, std::uint32_t f,
+                   ClientBehavior behavior = {})
+        : id_(id),
+          simulator_(simulator),
+          network_(network),
+          keys_(keys),
+          n_(n),
+          f_(f),
+          behavior_(behavior) {
+        network_.register_client(id_, [this](net::Address from, const net::MessagePtr& m) {
+            on_message(from, m);
+        });
+    }
+
+    /// Builds, signs and sends one request with a synthetic payload of
+    /// behavior().payload_bytes bytes.
+    RequestId send_one() {
+        return send_payload(Bytes(behavior_.payload_bytes, 0xAB));
+    }
+
+    /// Builds, signs and sends one request carrying `payload` (application
+    /// operations, e.g. the key-value store example).
+    RequestId send_payload(Bytes payload) {
+        const RequestId rid = next_rid_;
+        next_rid_ = next(next_rid_);
+
+        auto req = std::make_shared<bft::RequestMsg>();
+        req->client = id_;
+        req->rid = rid;
+        req->payload = std::move(payload);
+        req->exec_cost = behavior_.exec_cost;
+        const Bytes body = req->signed_bytes();
+        req->digest = crypto::sha256(BytesView(body.data(), body.size()));
+        req->sig = keys_.sign(crypto::Principal::client(id_), BytesView(body.data(), body.size()));
+        req->auth = crypto::make_authenticator(
+            keys_, crypto::Principal::client(id_), n_,
+            BytesView(req->digest.bytes.data(), req->digest.bytes.size()));
+        req->corrupt_mac_mask = behavior_.corrupt_mac_mask;
+        req->corrupt_sig = behavior_.corrupt_sig;
+
+        send_times_[rid] = simulator_.now();
+        ++sent_;
+        send_request(req);
+        return rid;
+    }
+
+    [[nodiscard]] ClientId id() const noexcept { return id_; }
+    [[nodiscard]] std::uint64_t sent() const noexcept { return sent_; }
+    [[nodiscard]] std::uint64_t completed() const noexcept { return completions_.size(); }
+    [[nodiscard]] const LatencyHistogram& latencies() const noexcept { return latencies_; }
+
+    /// (completion time [s], latency [ms]) per completed request.
+    [[nodiscard]] const Series& completions() const noexcept { return completions_; }
+
+    /// Completions inside a measurement window.
+    [[nodiscard]] std::uint64_t completed_in(TimePoint from, TimePoint to) const {
+        std::uint64_t count = 0;
+        for (const auto& [t, lat] : completions_.points) {
+            if (t >= from.seconds() && t < to.seconds()) ++count;
+        }
+        return count;
+    }
+
+    /// Mean latency (seconds) of completions inside a window.
+    [[nodiscard]] double mean_latency_in(TimePoint from, TimePoint to) const {
+        double sum = 0.0;
+        std::uint64_t count = 0;
+        for (const auto& [t, lat] : completions_.points) {
+            if (t >= from.seconds() && t < to.seconds()) {
+                sum += lat;
+                ++count;
+            }
+        }
+        return count == 0 ? 0.0 : sum / static_cast<double>(count) / 1000.0;
+    }
+
+    ClientBehavior& behavior() noexcept { return behavior_; }
+
+    /// Invoked on each completion with (rid, latency); drives closed-loop
+    /// clients.
+    void set_completion_callback(std::function<void(RequestId, Duration)> cb) {
+        on_complete_ = std::move(cb);
+    }
+
+    [[nodiscard]] std::uint64_t retransmissions() const noexcept { return retransmissions_; }
+    [[nodiscard]] std::size_t outstanding() const noexcept { return send_times_.size(); }
+
+private:
+    void send_request(const std::shared_ptr<bft::RequestMsg>& req) {
+        if (behavior_.round_robin_single) {
+            const auto target = static_cast<std::uint32_t>((raw(id_) + raw(req->rid)) % n_);
+            network_.send(net::Address::client(id_), net::Address::node(NodeId{target}), req);
+        } else if (behavior_.targets.empty()) {
+            for (std::uint32_t i = 0; i < n_; ++i) {
+                network_.send(net::Address::client(id_), net::Address::node(NodeId{i}), req);
+            }
+        } else {
+            for (NodeId target : behavior_.targets) {
+                network_.send(net::Address::client(id_), net::Address::node(target), req);
+            }
+        }
+        if (behavior_.retransmit_timeout.ns > 0) {
+            simulator_.schedule_after(behavior_.retransmit_timeout, [this, req] {
+                if (!send_times_.contains(req->rid)) return;  // completed
+                ++retransmissions_;
+                send_request(req);
+            });
+        }
+    }
+
+    void on_message(net::Address from, const net::MessagePtr& m) {
+        if (m->type() != net::MsgType::kReply || from.kind != net::Address::Kind::kNode) return;
+        const auto& reply = static_cast<const bft::ReplyMsg&>(*m);
+        if (reply.client != id_) return;
+        auto sent_it = send_times_.find(reply.rid);
+        if (sent_it == send_times_.end()) return;  // already completed / unknown
+
+        auto& voters = reply_votes_[reply.rid];
+        voters.insert(raw(reply.node));
+        if (voters.size() >= f_ + 1) {
+            const Duration latency = simulator_.now() - sent_it->second;
+            latencies_.add(latency.seconds());
+            completions_.add(simulator_.now().seconds(), latency.millis());
+            send_times_.erase(sent_it);
+            reply_votes_.erase(reply.rid);
+            if (on_complete_) on_complete_(reply.rid, latency);
+        }
+    }
+
+    ClientId id_;
+    sim::Simulator& simulator_;
+    net::Network& network_;
+    const crypto::KeyStore& keys_;
+    std::uint32_t n_;
+    std::uint32_t f_;
+    ClientBehavior behavior_;
+
+    std::function<void(RequestId, Duration)> on_complete_;
+    RequestId next_rid_{RequestId{1}};
+    std::uint64_t sent_ = 0;
+    std::uint64_t retransmissions_ = 0;
+    std::unordered_map<RequestId, TimePoint> send_times_;
+    std::unordered_map<RequestId, std::set<std::uint32_t>> reply_votes_;
+    LatencyHistogram latencies_;
+    Series completions_;
+};
+
+}  // namespace rbft::workload

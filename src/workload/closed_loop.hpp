@@ -1,0 +1,61 @@
+// Closed-loop clients — the regime the paper explicitly does NOT target
+// (§II: "RBFT is intended for open loop systems ... In a closed loop
+// system, the rate of incoming requests would be conditioned by the rate
+// of the master instance.  Said differently, backup instances would never
+// be faster than the master instance"), and names as future work (§VII).
+//
+// We implement them anyway, for the ablation bench that demonstrates the
+// paper's point: under worst-attack-2 with closed-loop clients, a delaying
+// master primary throttles the offered load itself, the backup instances
+// pace down with it, the monitored throughput ratio stays ≥ Δ, and the
+// attack becomes invisible to RBFT's monitoring while still hurting every
+// client's latency.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "workload/client.hpp"
+
+namespace rbft::workload {
+
+/// Keeps `window` requests outstanding: each completion immediately sends
+/// the next request (optionally after think_time).
+class ClosedLoopClient {
+public:
+    ClosedLoopClient(ClientEndpoint& endpoint, std::uint32_t window,
+                     sim::Simulator& simulator, Duration think_time = {})
+        : endpoint_(endpoint), simulator_(simulator), window_(window), think_time_(think_time) {
+        endpoint_.set_completion_callback([this](RequestId, Duration) { on_completion(); });
+    }
+
+    /// Fills the window; call once before running the simulator.
+    void start() {
+        for (std::uint32_t i = 0; i < window_; ++i) endpoint_.send_one();
+    }
+
+    void stop() noexcept { stopped_ = true; }
+
+    [[nodiscard]] ClientEndpoint& endpoint() noexcept { return endpoint_; }
+
+private:
+    void on_completion() {
+        if (stopped_) return;
+        if (think_time_.ns > 0) {
+            simulator_.schedule_after(think_time_, [this] {
+                if (!stopped_) endpoint_.send_one();
+            });
+        } else {
+            endpoint_.send_one();
+        }
+    }
+
+    ClientEndpoint& endpoint_;
+    sim::Simulator& simulator_;
+    std::uint32_t window_;
+    Duration think_time_;
+    bool stopped_ = false;
+};
+
+}  // namespace rbft::workload

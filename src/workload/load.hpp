@@ -1,0 +1,120 @@
+// Load generation: the paper's two workloads (§VI-A).
+//
+//  * Static load: the system is saturated; clients send at a constant
+//    aggregate rate.
+//  * Dynamic load: the number of active clients ramps 1 → 10, spikes to 50,
+//    then ramps back down to 1 — "a load corresponding to connections to a
+//    website, which may contain many spikes" (§III-D).
+//
+// The generator drives a set of open-loop ClientEndpoints with exponential
+// inter-arrival times at a piecewise-constant aggregate rate, spreading
+// sends round-robin over the active clients.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "sim/simulator.hpp"
+#include "workload/client.hpp"
+
+namespace rbft::workload {
+
+/// Piecewise-constant load: a sequence of (stage duration, aggregate rate
+/// in req/s, active client count) stages.  After the last stage the
+/// generator stops.
+struct LoadSpec {
+    struct Stage {
+        Duration duration{};
+        double rate = 0.0;
+        std::uint32_t active_clients = 1;
+    };
+    std::vector<Stage> stages;
+
+    [[nodiscard]] Duration total_duration() const noexcept {
+        Duration d{};
+        for (const auto& s : stages) d += s.duration;
+        return d;
+    }
+
+    /// Constant rate over `duration`, spread over `clients` clients.
+    [[nodiscard]] static LoadSpec constant(double rate, Duration duration,
+                                           std::uint32_t clients) {
+        return LoadSpec{{Stage{duration, rate, clients}}};
+    }
+
+    /// The paper's dynamic workload: ramp 1..ramp_to clients, spike to
+    /// spike_clients, ramp back down; each client sends at per_client_rate.
+    [[nodiscard]] static LoadSpec dynamic(double per_client_rate, Duration stage_duration,
+                                          std::uint32_t ramp_to = 10,
+                                          std::uint32_t spike_clients = 50) {
+        LoadSpec spec;
+        for (std::uint32_t c = 1; c <= ramp_to; ++c) {
+            spec.stages.push_back({stage_duration, per_client_rate * c, c});
+        }
+        spec.stages.push_back(
+            {stage_duration, per_client_rate * spike_clients, spike_clients});
+        for (std::uint32_t c = ramp_to; c >= 1; --c) {
+            spec.stages.push_back({stage_duration, per_client_rate * c, c});
+        }
+        return spec;
+    }
+};
+
+class LoadGenerator {
+public:
+    /// `clients` must outlive the generator; the generator uses at most
+    /// stage.active_clients of them per stage (in order).
+    LoadGenerator(sim::Simulator& simulator, std::vector<ClientEndpoint*> clients,
+                  LoadSpec spec, Rng rng)
+        : simulator_(simulator), clients_(std::move(clients)), spec_(std::move(spec)), rng_(rng) {}
+
+    /// Schedules the whole load; call once before running the simulator.
+    void start() {
+        TimePoint stage_start = simulator_.now();
+        for (const auto& stage : spec_.stages) {
+            schedule_stage(stage, stage_start);
+            stage_start = stage_start + stage.duration;
+        }
+        end_time_ = stage_start;
+    }
+
+    [[nodiscard]] TimePoint end_time() const noexcept { return end_time_; }
+    [[nodiscard]] std::uint64_t scheduled() const noexcept { return scheduled_; }
+
+private:
+    void schedule_stage(const LoadSpec::Stage& stage, TimePoint start) {
+        if (stage.rate <= 0.0) return;
+        const std::uint32_t active =
+            std::min<std::uint32_t>(stage.active_clients,
+                                    static_cast<std::uint32_t>(clients_.size()));
+        if (active == 0) return;
+        const TimePoint end = start + stage.duration;
+        // Pre-draw exponential arrivals for the stage (deterministic given
+        // the seed; the event queue keeps them in order).
+        double t = start.seconds();
+        std::uint32_t rr = 0;
+        while (true) {
+            const double gap = -std::log(1.0 - rng_.next_double()) / stage.rate;
+            t += gap;
+            if (t >= end.seconds()) break;
+            ClientEndpoint* client = clients_[rr % active];
+            rr = (rr + 1) % active;
+            simulator_.schedule_at(TimePoint{static_cast<std::int64_t>(t * 1e9)},
+                                   [client] { client->send_one(); });
+            ++scheduled_;
+        }
+    }
+
+    sim::Simulator& simulator_;
+    std::vector<ClientEndpoint*> clients_;
+    LoadSpec spec_;
+    Rng rng_;
+    TimePoint end_time_{};
+    std::uint64_t scheduled_ = 0;
+};
+
+}  // namespace rbft::workload

@@ -1,0 +1,294 @@
+// Unit tests for the common substrate: ids/quorums, byte helpers, RNG,
+// histogram, time arithmetic and windowed counters.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bytes.hpp"
+#include "common/histogram.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "common/timeseries.hpp"
+#include "common/types.hpp"
+
+namespace rbft {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Types and quorums.
+
+TEST(Types, ClusterSizeFormula) {
+    EXPECT_EQ(cluster_size(1), 4u);
+    EXPECT_EQ(cluster_size(2), 7u);
+    EXPECT_EQ(cluster_size(3), 10u);
+}
+
+TEST(Types, MaxFaultsInvertsClusterSize) {
+    for (std::uint32_t f = 1; f <= 10; ++f) {
+        EXPECT_EQ(max_faults(cluster_size(f)), f);
+    }
+}
+
+TEST(Types, MaxFaultsFloorsNonCanonicalSizes) {
+    EXPECT_EQ(max_faults(4), 1u);
+    EXPECT_EQ(max_faults(5), 1u);
+    EXPECT_EQ(max_faults(6), 1u);
+    EXPECT_EQ(max_faults(7), 2u);
+}
+
+class QuorumProperty : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(QuorumProperty, CommitQuorumIsMajorityAndIntersects) {
+    const std::uint32_t f = GetParam();
+    const std::uint32_t n = cluster_size(f);
+    // Any two commit quorums intersect in at least f+1 nodes (safety core).
+    EXPECT_GE(2 * commit_quorum(f), n + f + 1);
+    // A commit quorum is reachable with f nodes silent (liveness).
+    EXPECT_LE(commit_quorum(f), n - f);
+}
+
+TEST_P(QuorumProperty, PropagateQuorumGuaranteesOneCorrectNode) {
+    const std::uint32_t f = GetParam();
+    EXPECT_EQ(propagate_quorum(f), f + 1);  // at least one correct node in any f+1
+}
+
+TEST_P(QuorumProperty, PrepareQuorumBelowCommitQuorum) {
+    const std::uint32_t f = GetParam();
+    EXPECT_LT(prepare_quorum(f), commit_quorum(f));
+}
+
+INSTANTIATE_TEST_SUITE_P(FaultRange, QuorumProperty, ::testing::Values(1u, 2u, 3u, 5u, 10u));
+
+TEST(Types, NextIncrements) {
+    EXPECT_EQ(raw(next(SeqNum{41})), 42u);
+    EXPECT_EQ(raw(next(ViewId{0})), 1u);
+    EXPECT_EQ(raw(next(RequestId{7})), 8u);
+}
+
+TEST(Types, DigestHexRendering) {
+    Digest d;
+    d.bytes[0] = 0xAB;
+    d.bytes[31] = 0x01;
+    const std::string hex = d.hex();
+    EXPECT_EQ(hex.size(), 64u);
+    EXPECT_EQ(hex.substr(0, 2), "ab");
+    EXPECT_EQ(hex.substr(62, 2), "01");
+}
+
+TEST(Types, RequestKeyOrderingAndHash) {
+    const RequestKey a{ClientId{1}, RequestId{1}};
+    const RequestKey b{ClientId{1}, RequestId{2}};
+    const RequestKey c{ClientId{2}, RequestId{1}};
+    EXPECT_LT(a, b);
+    EXPECT_LT(a, c);
+    EXPECT_EQ(a, (RequestKey{ClientId{1}, RequestId{1}}));
+    std::hash<RequestKey> h;
+    EXPECT_NE(h(a), h(b));
+    EXPECT_NE(h(a), h(c));
+}
+
+// ---------------------------------------------------------------------------
+// Bytes.
+
+TEST(Bytes, HexRoundTrip) {
+    const Bytes data = {0x00, 0x01, 0xFF, 0x7f, 0x80};
+    EXPECT_EQ(from_hex(to_hex(data)), data);
+}
+
+TEST(Bytes, FromHexRejectsOddLength) { EXPECT_TRUE(from_hex("abc").empty()); }
+
+TEST(Bytes, FromHexRejectsNonHex) { EXPECT_TRUE(from_hex("zz").empty()); }
+
+TEST(Bytes, FromHexAcceptsUppercase) {
+    EXPECT_EQ(from_hex("FF00"), (Bytes{0xFF, 0x00}));
+}
+
+TEST(Bytes, StringRoundTrip) {
+    const std::string s = "hello world";
+    EXPECT_EQ(to_string(to_bytes(s)), s);
+}
+
+TEST(Bytes, EmptyRoundTrip) {
+    EXPECT_TRUE(to_bytes("").empty());
+    EXPECT_EQ(to_hex({}), "");
+}
+
+// ---------------------------------------------------------------------------
+// RNG.
+
+TEST(Rng, DeterministicForSameSeed) {
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) equal += a.next_u64() == b.next_u64();
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+    Rng rng(7);
+    for (std::uint64_t bound : {1ULL, 2ULL, 10ULL, 1000ULL}) {
+        for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+    }
+}
+
+TEST(Rng, NextBelowZeroIsZero) {
+    Rng rng(7);
+    EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.next_double();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, DoubleRoughlyUniform) {
+    Rng rng(11);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) sum += rng.next_double();
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+    Rng rng(13);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) hits += rng.next_bool(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, SplitStreamsUncorrelated) {
+    Rng parent(42);
+    Rng a = parent.split(1);
+    Rng b = parent.split(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) equal += a.next_u64() == b.next_u64();
+    EXPECT_LT(equal, 3);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram / summary.
+
+TEST(Summary, TracksMeanMinMaxCount) {
+    Summary s;
+    s.add(1.0);
+    s.add(3.0);
+    s.add(2.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(Summary, EmptyIsZero) {
+    Summary s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.min(), 0.0);
+    EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(Summary, ResetClears) {
+    Summary s;
+    s.add(5.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(LatencyHistogram, MedianOfUniformSamples) {
+    LatencyHistogram h;
+    for (int i = 1; i <= 1000; ++i) h.add(i * 0.001);  // 1ms .. 1s
+    const double p50 = h.quantile(0.5);
+    EXPECT_NEAR(p50, 0.5, 0.05);
+}
+
+TEST(LatencyHistogram, QuantilesMonotone) {
+    LatencyHistogram h;
+    Rng rng(3);
+    for (int i = 0; i < 5000; ++i) h.add(1e-4 + rng.next_double() * 0.01);
+    double prev = 0.0;
+    for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+        const double v = h.quantile(q);
+        EXPECT_GE(v, prev);
+        prev = v;
+    }
+}
+
+TEST(LatencyHistogram, SingleValueQuantile) {
+    LatencyHistogram h;
+    h.add(0.005);
+    EXPECT_NEAR(h.quantile(0.5), 0.005, 0.001);
+    EXPECT_NEAR(h.quantile(0.99), 0.005, 0.001);
+}
+
+TEST(LatencyHistogram, EmptyQuantileIsZero) {
+    LatencyHistogram h;
+    EXPECT_EQ(h.quantile(0.5), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Time.
+
+TEST(Time, DurationArithmetic) {
+    EXPECT_EQ((milliseconds(1.0) + microseconds(500.0)).ns, 1'500'000);
+    EXPECT_EQ((seconds(1.0) - milliseconds(250.0)).ns, 750'000'000);
+    EXPECT_EQ((milliseconds(2.0) * std::int64_t{3}).ns, 6'000'000);
+    EXPECT_EQ((milliseconds(3.0) / std::int64_t{3}).ns, 1'000'000);
+}
+
+TEST(Time, DurationScalingByDouble) {
+    EXPECT_EQ((seconds(1.0) * 0.5).ns, 500'000'000);
+}
+
+TEST(Time, TimePointDifference) {
+    const TimePoint a{1'000'000};
+    const TimePoint b = a + milliseconds(2.0);
+    EXPECT_EQ((b - a).ns, 2'000'000);
+    EXPECT_LT(a, b);
+}
+
+TEST(Time, UnitConversions) {
+    EXPECT_DOUBLE_EQ(seconds(1.5).seconds(), 1.5);
+    EXPECT_DOUBLE_EQ(milliseconds(2.5).millis(), 2.5);
+    EXPECT_DOUBLE_EQ(microseconds(10.0).micros(), 10.0);
+}
+
+// ---------------------------------------------------------------------------
+// Windowed counters and series.
+
+TEST(WindowCounter, TakeResetsValue) {
+    WindowCounter c;
+    c.add(5);
+    c.add(3);
+    EXPECT_EQ(c.peek(), 8u);
+    EXPECT_EQ(c.take(), 8u);
+    EXPECT_EQ(c.take(), 0u);
+}
+
+TEST(Series, MeanAndMax) {
+    Series s;
+    s.add(0.0, 1.0);
+    s.add(1.0, 3.0);
+    s.add(2.0, 2.0);
+    EXPECT_DOUBLE_EQ(s.mean_y(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max_y(), 3.0);
+    EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(Series, EmptyIsZero) {
+    Series s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.mean_y(), 0.0);
+    EXPECT_EQ(s.max_y(), 0.0);
+}
+
+}  // namespace
+}  // namespace rbft

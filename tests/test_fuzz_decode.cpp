@@ -1,0 +1,114 @@
+// Robustness of the wire decoders against adversarial input: random bytes,
+// truncations of valid encodings, and bit flips must never crash, hang or
+// allocate unboundedly — a Byzantine peer controls every byte it sends.
+#include <gtest/gtest.h>
+
+#include "bft/messages.hpp"
+#include "common/rng.hpp"
+#include "crypto/sha256.hpp"
+
+namespace rbft::bft {
+namespace {
+
+crypto::KeyStore& keys() {
+    static crypto::KeyStore ks(5);
+    return ks;
+}
+
+Bytes random_bytes(Rng& rng, std::size_t size) {
+    Bytes out(size);
+    for (auto& b : out) b = static_cast<std::uint8_t>(rng.next_below(256));
+    return out;
+}
+
+template <typename T>
+void decode_garbage(const Bytes& data) {
+    net::WireReader reader{BytesView(data)};
+    // Must not crash; the result is unspecified but bounded.
+    const T msg = T::decode(reader);
+    (void)msg;
+}
+
+class FuzzSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzSeeds, RandomBytesDecodeSafely) {
+    Rng rng(GetParam());
+    for (std::size_t size : {0ul, 1ul, 16ul, 64ul, 256ul, 4096ul}) {
+        const Bytes junk = random_bytes(rng, size);
+        decode_garbage<RequestMsg>(junk);
+        decode_garbage<ReplyMsg>(junk);
+        decode_garbage<PrePrepareMsg>(junk);
+        decode_garbage<PhaseMsg>(junk);
+        decode_garbage<CheckpointMsg>(junk);
+        decode_garbage<ViewChangeMsg>(junk);
+        decode_garbage<NewViewMsg>(junk);
+    }
+}
+
+TEST_P(FuzzSeeds, TruncationsOfValidEncodingsDecodeSafely) {
+    Rng rng(GetParam());
+    PrePrepareMsg m;
+    m.instance = InstanceId{1};
+    m.view = ViewId{2};
+    m.seq = SeqNum{3};
+    for (std::uint32_t i = 0; i < 8; ++i) {
+        RequestRef ref;
+        ref.client = ClientId{i};
+        ref.rid = RequestId{i};
+        m.batch.push_back(ref);
+    }
+    m.auth = crypto::make_authenticator(keys(), crypto::Principal::node(NodeId{0}), 4,
+                                        BytesView(m.batch_digest.bytes.data(), 32));
+    net::WireWriter w;
+    m.encode(w);
+    const Bytes full = w.buffer();
+    for (int i = 0; i < 50; ++i) {
+        const std::size_t cut = rng.next_below(full.size());
+        const Bytes truncated(full.begin(), full.begin() + static_cast<std::ptrdiff_t>(cut));
+        decode_garbage<PrePrepareMsg>(truncated);
+    }
+}
+
+TEST_P(FuzzSeeds, BitFlipsEitherFailOrDecodeBounded) {
+    Rng rng(GetParam());
+    RequestMsg m;
+    m.client = ClientId{1};
+    m.rid = RequestId{2};
+    m.payload = random_bytes(rng, 64);
+    const Bytes body = m.signed_bytes();
+    m.digest = crypto::sha256(BytesView(body));
+    m.sig = keys().sign(crypto::Principal::client(ClientId{1}), BytesView(body));
+    m.auth = crypto::make_authenticator(keys(), crypto::Principal::client(ClientId{1}), 4,
+                                        BytesView(m.digest.bytes.data(), 32));
+    net::WireWriter w;
+    m.encode(w);
+    Bytes bytes = w.take();
+    for (int i = 0; i < 100; ++i) {
+        const std::size_t pos = rng.next_below(bytes.size());
+        bytes[pos] ^= static_cast<std::uint8_t>(1u << rng.next_below(8));
+        net::WireReader reader{BytesView(bytes)};
+        const RequestMsg out = RequestMsg::decode(reader);
+        // Payload length claims are bounded by the actual buffer.
+        EXPECT_LE(out.payload.size(), bytes.size());
+        EXPECT_LE(out.auth.macs.size(), bytes.size() / 16 + 1);
+    }
+}
+
+TEST_P(FuzzSeeds, LengthPrefixBombsRejected) {
+    // A claimed huge length must not cause a huge allocation.
+    Rng rng(GetParam());
+    net::WireWriter w;
+    w.u32(raw(ClientId{1}));
+    w.u64(raw(RequestId{1}));
+    w.u32(0xFFFFFFFF);  // payload "length"
+    const Bytes evil = w.buffer();
+    net::WireReader reader{BytesView(evil)};
+    const RequestMsg out = RequestMsg::decode(reader);
+    EXPECT_TRUE(out.payload.empty());
+    EXPECT_FALSE(reader.ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds, ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace rbft::bft

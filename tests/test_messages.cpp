@@ -1,0 +1,265 @@
+// Unit tests for protocol message encode/decode round-trips and wire-size
+// modeling.
+#include <gtest/gtest.h>
+
+#include "bft/messages.hpp"
+#include "crypto/sha256.hpp"
+
+namespace rbft::bft {
+namespace {
+
+crypto::KeyStore& keys() {
+    static crypto::KeyStore ks(77);
+    return ks;
+}
+
+RequestMsg make_request(std::size_t payload_bytes, ClientId client = ClientId{3},
+                        RequestId rid = RequestId{9}) {
+    RequestMsg m;
+    m.client = client;
+    m.rid = rid;
+    m.payload.assign(payload_bytes, 0xCD);
+    m.exec_cost = microseconds(100.0);
+    const Bytes body = m.signed_bytes();
+    m.digest = crypto::sha256(BytesView(body));
+    m.sig = keys().sign(crypto::Principal::client(client), BytesView(body));
+    m.auth = crypto::make_authenticator(keys(), crypto::Principal::client(client), 4,
+                                        BytesView(m.digest.bytes.data(), 32));
+    return m;
+}
+
+RequestRef make_ref(std::uint32_t i) {
+    RequestRef ref;
+    ref.client = ClientId{i};
+    ref.rid = RequestId{i * 10};
+    ref.digest.bytes[0] = static_cast<std::uint8_t>(i);
+    ref.payload_bytes = i * 100;
+    return ref;
+}
+
+template <typename T>
+T round_trip(const T& msg) {
+    net::WireWriter w;
+    msg.encode(w);
+    net::WireReader r(BytesView(w.buffer()));
+    T out = T::decode(r);
+    EXPECT_TRUE(r.ok());
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+
+class RequestRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RequestRoundTrip, AllFieldsSurvive) {
+    RequestMsg m = make_request(GetParam());
+    m.corrupt_mac_mask = 0b1010;
+    m.corrupt_sig = true;
+    const RequestMsg out = round_trip(m);
+    EXPECT_EQ(out.client, m.client);
+    EXPECT_EQ(out.rid, m.rid);
+    EXPECT_EQ(out.payload, m.payload);
+    EXPECT_EQ(out.exec_cost, m.exec_cost);
+    EXPECT_EQ(out.digest, m.digest);
+    EXPECT_EQ(out.sig, m.sig);
+    EXPECT_EQ(out.auth, m.auth);
+    EXPECT_EQ(out.corrupt_mac_mask, m.corrupt_mac_mask);
+    EXPECT_EQ(out.corrupt_sig, m.corrupt_sig);
+}
+
+INSTANTIATE_TEST_SUITE_P(PayloadSizes, RequestRoundTrip,
+                         ::testing::Values(0u, 8u, 100u, 1024u, 4096u));
+
+TEST(RequestMsg, WireSizeGrowsWithPayload) {
+    EXPECT_GT(make_request(4096).wire_size(), make_request(8).wire_size());
+    EXPECT_EQ(make_request(4096).wire_size() - make_request(8).wire_size(), 4088u);
+}
+
+TEST(RequestMsg, WireSizeModelsSignatureAndAuthenticator) {
+    const RequestMsg m = make_request(0);
+    EXPECT_GE(m.wire_size(), net::kSignatureBytes + net::authenticator_bytes(4));
+}
+
+TEST(RequestMsg, SignedBytesStable) {
+    const RequestMsg a = make_request(64);
+    const RequestMsg b = make_request(64);
+    EXPECT_EQ(a.signed_bytes(), b.signed_bytes());
+}
+
+TEST(RequestMsg, SignedBytesDifferPerRid) {
+    EXPECT_NE(make_request(8, ClientId{1}, RequestId{1}).signed_bytes(),
+              make_request(8, ClientId{1}, RequestId{2}).signed_bytes());
+}
+
+TEST(ReplyMsg, RoundTrip) {
+    ReplyMsg m;
+    m.client = ClientId{4};
+    m.rid = RequestId{17};
+    m.node = NodeId{2};
+    m.result = {9, 8, 7};
+    m.mac.bytes[0] = 0x42;
+    const ReplyMsg out = round_trip(m);
+    EXPECT_EQ(out.client, m.client);
+    EXPECT_EQ(out.rid, m.rid);
+    EXPECT_EQ(out.node, m.node);
+    EXPECT_EQ(out.result, m.result);
+    EXPECT_EQ(out.mac, m.mac);
+}
+
+TEST(RequestRef, RoundTrip) {
+    net::WireWriter w;
+    make_ref(5).encode(w);
+    EXPECT_EQ(w.size(), RequestRef::kWireBytes);
+    net::WireReader r(BytesView(w.buffer()));
+    EXPECT_EQ(RequestRef::decode(r), make_ref(5));
+}
+
+class PrePrepareRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PrePrepareRoundTrip, BatchSurvives) {
+    PrePrepareMsg m;
+    m.instance = InstanceId{1};
+    m.view = ViewId{3};
+    m.seq = SeqNum{42};
+    for (std::uint32_t i = 0; i < GetParam(); ++i) m.batch.push_back(make_ref(i));
+    m.batch_digest.bytes[1] = 0x55;
+    m.embedded_payload_bytes = 12345;
+    m.auth = crypto::make_authenticator(keys(), crypto::Principal::node(NodeId{0}), 4,
+                                        BytesView(m.batch_digest.bytes.data(), 32));
+    m.corrupt_mac_mask = 0b0100;
+    const PrePrepareMsg out = round_trip(m);
+    EXPECT_EQ(out.instance, m.instance);
+    EXPECT_EQ(out.view, m.view);
+    EXPECT_EQ(out.seq, m.seq);
+    EXPECT_EQ(out.batch, m.batch);
+    EXPECT_EQ(out.batch_digest, m.batch_digest);
+    EXPECT_EQ(out.embedded_payload_bytes, m.embedded_payload_bytes);
+    EXPECT_EQ(out.corrupt_mac_mask, m.corrupt_mac_mask);
+}
+
+INSTANTIATE_TEST_SUITE_P(BatchSizes, PrePrepareRoundTrip, ::testing::Values(0u, 1u, 64u, 256u));
+
+TEST(PrePrepareMsg, WireSizeCountsEmbeddedPayload) {
+    PrePrepareMsg digests;
+    digests.batch.push_back(make_ref(1));
+    PrePrepareMsg full = digests;
+    full.embedded_payload_bytes = 4096;
+    EXPECT_EQ(full.wire_size() - digests.wire_size(), 4096u);
+}
+
+TEST(PhaseMsg, PrepareAndCommitRoundTrip) {
+    for (auto phase : {PhaseMsg::Phase::kPrepare, PhaseMsg::Phase::kCommit}) {
+        PhaseMsg m;
+        m.phase = phase;
+        m.instance = InstanceId{1};
+        m.view = ViewId{2};
+        m.seq = SeqNum{3};
+        m.batch_digest.bytes[9] = 9;
+        m.replica = NodeId{3};
+        m.auth = crypto::make_authenticator(keys(), crypto::Principal::node(NodeId{3}), 4,
+                                            BytesView(m.batch_digest.bytes.data(), 32));
+        const PhaseMsg out = round_trip(m);
+        EXPECT_EQ(out.phase, m.phase);
+        EXPECT_EQ(out.type(), m.type());
+        EXPECT_EQ(out.seq, m.seq);
+        EXPECT_EQ(out.batch_digest, m.batch_digest);
+        EXPECT_EQ(out.replica, m.replica);
+    }
+}
+
+TEST(PhaseMsg, TypeReflectsPhase) {
+    PhaseMsg m;
+    m.phase = PhaseMsg::Phase::kPrepare;
+    EXPECT_EQ(m.type(), net::MsgType::kPrepare);
+    m.phase = PhaseMsg::Phase::kCommit;
+    EXPECT_EQ(m.type(), net::MsgType::kCommit);
+}
+
+TEST(CheckpointMsg, RoundTrip) {
+    CheckpointMsg m;
+    m.instance = InstanceId{0};
+    m.seq = SeqNum{128};
+    m.state_digest.bytes[0] = 1;
+    m.replica = NodeId{2};
+    const CheckpointMsg out = round_trip(m);
+    EXPECT_EQ(out.seq, m.seq);
+    EXPECT_EQ(out.state_digest, m.state_digest);
+    EXPECT_EQ(out.replica, m.replica);
+}
+
+TEST(ViewChangeMsg, RoundTripWithProofs) {
+    ViewChangeMsg m;
+    m.instance = InstanceId{1};
+    m.new_view = ViewId{5};
+    m.last_stable = SeqNum{256};
+    m.replica = NodeId{1};
+    for (int p = 0; p < 3; ++p) {
+        PreparedProof proof;
+        proof.seq = SeqNum{257 + static_cast<std::uint64_t>(p)};
+        proof.view = ViewId{4};
+        proof.batch = {make_ref(1), make_ref(2)};
+        proof.batch_digest.bytes[2] = 2;
+        m.prepared.push_back(proof);
+    }
+    const Bytes body = m.signed_bytes();
+    m.sig = keys().sign(crypto::Principal::node(NodeId{1}), BytesView(body));
+
+    const ViewChangeMsg out = round_trip(m);
+    EXPECT_EQ(out.new_view, m.new_view);
+    EXPECT_EQ(out.last_stable, m.last_stable);
+    ASSERT_EQ(out.prepared.size(), 3u);
+    EXPECT_EQ(out.prepared[1].seq, m.prepared[1].seq);
+    EXPECT_EQ(out.prepared[1].batch, m.prepared[1].batch);
+    EXPECT_EQ(out.sig, m.sig);
+}
+
+TEST(ViewChangeMsg, SignedBytesCoverProofs) {
+    ViewChangeMsg a, b;
+    a.new_view = b.new_view = ViewId{5};
+    PreparedProof proof;
+    proof.seq = SeqNum{1};
+    b.prepared.push_back(proof);
+    EXPECT_NE(a.signed_bytes(), b.signed_bytes());
+}
+
+TEST(NewViewMsg, RoundTrip) {
+    NewViewMsg m;
+    m.instance = InstanceId{0};
+    m.view = ViewId{6};
+    m.primary = NodeId{2};
+    m.view_change_digests.resize(3);
+    m.view_change_digests[0].bytes[0] = 0xAA;
+    PreparedProof proof;
+    proof.seq = SeqNum{10};
+    proof.batch = {make_ref(4)};
+    m.reproposals.push_back(proof);
+    const Bytes body = m.signed_bytes();
+    m.sig = keys().sign(crypto::Principal::node(NodeId{2}), BytesView(body));
+
+    const NewViewMsg out = round_trip(m);
+    EXPECT_EQ(out.view, m.view);
+    EXPECT_EQ(out.primary, m.primary);
+    EXPECT_EQ(out.view_change_digests, m.view_change_digests);
+    ASSERT_EQ(out.reproposals.size(), 1u);
+    EXPECT_EQ(out.reproposals[0].batch, m.reproposals[0].batch);
+}
+
+TEST(Messages, NamesAreHuman) {
+    EXPECT_EQ(make_request(1).name(), "REQUEST");
+    EXPECT_EQ(PrePrepareMsg{}.name(), "PRE-PREPARE");
+    EXPECT_EQ(CheckpointMsg{}.name(), "CHECKPOINT");
+    EXPECT_EQ(ViewChangeMsg{}.name(), "VIEW-CHANGE");
+    EXPECT_EQ(NewViewMsg{}.name(), "NEW-VIEW");
+}
+
+TEST(Messages, WireSizesPositive) {
+    EXPECT_GT(make_request(0).wire_size(), 0u);
+    EXPECT_GT(PrePrepareMsg{}.wire_size(), 0u);
+    EXPECT_GT(PhaseMsg{}.wire_size(), 0u);
+    EXPECT_GT(CheckpointMsg{}.wire_size(), 0u);
+    EXPECT_GT(ViewChangeMsg{}.wire_size(), 0u);
+    EXPECT_GT(NewViewMsg{}.wire_size(), 0u);
+}
+
+}  // namespace
+}  // namespace rbft::bft

@@ -1,0 +1,308 @@
+// Unit tests for the network substrate: wire serialization primitives, the
+// fabric's delivery semantics (TCP FIFO vs UDP), NIC bandwidth and
+// administrative closure, and flood accounting.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/flood.hpp"
+#include "net/network.hpp"
+#include "net/wire.hpp"
+#include "sim/simulator.hpp"
+
+namespace rbft::net {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Wire primitives.
+
+TEST(Wire, ScalarRoundTrip) {
+    WireWriter w;
+    w.u8(0xAB);
+    w.u16(0x1234);
+    w.u32(0xDEADBEEF);
+    w.u64(0x0123456789ABCDEFULL);
+    WireReader r(BytesView(w.buffer()));
+    EXPECT_EQ(r.u8(), 0xAB);
+    EXPECT_EQ(r.u16(), 0x1234);
+    EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+    EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+    EXPECT_TRUE(r.ok());
+    EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Wire, BytesRoundTrip) {
+    WireWriter w;
+    const Bytes payload = {1, 2, 3, 4, 5};
+    w.bytes(BytesView(payload));
+    WireReader r(BytesView(w.buffer()));
+    EXPECT_EQ(r.bytes(), payload);
+    EXPECT_TRUE(r.ok());
+}
+
+TEST(Wire, EmptyBytesRoundTrip) {
+    WireWriter w;
+    w.bytes({});
+    WireReader r(BytesView(w.buffer()));
+    EXPECT_TRUE(r.bytes().empty());
+    EXPECT_TRUE(r.ok());
+}
+
+TEST(Wire, DigestRoundTrip) {
+    WireWriter w;
+    Digest d;
+    for (std::size_t i = 0; i < 32; ++i) d.bytes[i] = static_cast<std::uint8_t>(i);
+    w.digest(d);
+    WireReader r(BytesView(w.buffer()));
+    EXPECT_EQ(r.digest(), d);
+}
+
+TEST(Wire, TruncatedReadSetsNotOk) {
+    WireWriter w;
+    w.u16(7);
+    WireReader r(BytesView(w.buffer()));
+    (void)r.u64();  // asks for more than available
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(Wire, OversizedLengthPrefixRejected) {
+    WireWriter w;
+    w.u32(1'000'000);  // claims a huge payload that isn't there
+    WireReader r(BytesView(w.buffer()));
+    EXPECT_TRUE(r.bytes().empty());
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(Wire, ReadsAfterFailureReturnZero) {
+    WireReader r(BytesView{});
+    EXPECT_EQ(r.u32(), 0u);
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.u64(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Network fabric.
+
+struct Recorder {
+    std::vector<std::pair<Address, MessagePtr>> received;
+    std::vector<std::int64_t> times;
+
+    Network::Handler handler(sim::Simulator& sim) {
+        return [this, &sim](Address from, const MessagePtr& m) {
+            received.emplace_back(from, m);
+            times.push_back(sim.now().ns);
+        };
+    }
+};
+
+MessagePtr flood(std::size_t bytes = 100) {
+    return std::make_shared<FloodMsg>(bytes, FloodMsg::Target::kPropagation);
+}
+
+TEST(Network, DeliversNodeToNode) {
+    sim::Simulator sim;
+    Network net(sim, 4, Rng(1));
+    Recorder rx;
+    net.register_node(NodeId{1}, rx.handler(sim));
+    net.register_node(NodeId{0}, nullptr);
+    net.send(Address::node(NodeId{0}), Address::node(NodeId{1}), flood());
+    sim.run_all();
+    ASSERT_EQ(rx.received.size(), 1u);
+    EXPECT_EQ(rx.received[0].first, Address::node(NodeId{0}));
+    EXPECT_GT(rx.times[0], 0);  // latency applied
+}
+
+TEST(Network, DeliversToClient) {
+    sim::Simulator sim;
+    Network net(sim, 4, Rng(1));
+    Recorder rx;
+    net.register_node(NodeId{0}, nullptr);
+    net.register_client(ClientId{5}, rx.handler(sim));
+    net.send(Address::node(NodeId{0}), Address::client(ClientId{5}), flood());
+    sim.run_all();
+    EXPECT_EQ(rx.received.size(), 1u);
+}
+
+TEST(Network, UnregisteredDestinationDropped) {
+    sim::Simulator sim;
+    Network net(sim, 4, Rng(1));
+    net.register_node(NodeId{0}, nullptr);
+    net.send(Address::node(NodeId{0}), Address::node(NodeId{3}), flood());
+    sim.run_all();  // must not crash or leak events
+    SUCCEED();
+}
+
+class FifoProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FifoProperty, TcpChannelPreservesSendOrder) {
+    sim::Simulator sim;
+    ChannelParams tcp = ChannelParams::tcp();
+    tcp.jitter_frac = 0.5;  // heavy jitter: FIFO must still hold
+    Network net(sim, 4, Rng(GetParam()), tcp, tcp);
+    Recorder rx;
+    net.register_node(NodeId{1}, rx.handler(sim));
+    net.register_node(NodeId{0}, nullptr);
+
+    const int count = 50;
+    std::vector<MessagePtr> sent;
+    for (int i = 0; i < count; ++i) {
+        auto m = flood(100 + i);  // distinguishable by size
+        sent.push_back(m);
+        net.send(Address::node(NodeId{0}), Address::node(NodeId{1}), m);
+    }
+    sim.run_all();
+    ASSERT_EQ(rx.received.size(), static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+        EXPECT_EQ(rx.received[i].second->wire_size(), sent[i]->wire_size()) << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FifoProperty, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Network, UdpCanReorder) {
+    sim::Simulator sim;
+    ChannelParams udp = ChannelParams::udp();
+    udp.jitter_frac = 2.0;  // exaggerate jitter so reordering is certain
+    Network net(sim, 4, Rng(3), udp, udp);
+    Recorder rx;
+    net.register_node(NodeId{1}, rx.handler(sim));
+    net.register_node(NodeId{0}, nullptr);
+    for (int i = 0; i < 100; ++i) {
+        net.send(Address::node(NodeId{0}), Address::node(NodeId{1}), flood(100 + i));
+    }
+    sim.run_all();
+    ASSERT_EQ(rx.received.size(), 100u);
+    bool reordered = false;
+    for (std::size_t i = 1; i < rx.received.size(); ++i) {
+        if (rx.received[i].second->wire_size() < rx.received[i - 1].second->wire_size()) {
+            reordered = true;
+        }
+    }
+    EXPECT_TRUE(reordered);
+}
+
+TEST(Network, UdpLossDropsSomeMessages) {
+    sim::Simulator sim;
+    ChannelParams udp = ChannelParams::udp();
+    udp.loss_prob = 0.3;
+    Network net(sim, 4, Rng(7), udp, udp);
+    Recorder rx;
+    net.register_node(NodeId{1}, rx.handler(sim));
+    net.register_node(NodeId{0}, nullptr);
+    for (int i = 0; i < 500; ++i) {
+        net.send(Address::node(NodeId{0}), Address::node(NodeId{1}), flood());
+    }
+    sim.run_all();
+    EXPECT_LT(rx.received.size(), 450u);
+    EXPECT_GT(rx.received.size(), 250u);
+}
+
+TEST(Network, TcpLatencyHigherThanUdp) {
+    auto one_way = [](ChannelParams params) {
+        sim::Simulator sim;
+        Network net(sim, 4, Rng(1), params, params);
+        Recorder rx;
+        net.register_node(NodeId{1}, rx.handler(sim));
+        net.register_node(NodeId{0}, nullptr);
+        net.send(Address::node(NodeId{0}), Address::node(NodeId{1}), flood());
+        sim.run_all();
+        return rx.times.at(0);
+    };
+    EXPECT_GT(one_way(ChannelParams::tcp()), one_way(ChannelParams::udp()));
+}
+
+TEST(Network, NicBandwidthSerializesLargeMessages) {
+    sim::Simulator sim;
+    ChannelParams slow = ChannelParams::tcp();
+    slow.bandwidth_bps = 8e6;  // 1 MB/s: a 10kB message takes 10 ms
+    slow.jitter_frac = 0.0;
+    Network net(sim, 4, Rng(1), slow, slow);
+    Recorder rx;
+    net.register_node(NodeId{1}, rx.handler(sim));
+    net.register_node(NodeId{0}, nullptr);
+    net.send(Address::node(NodeId{0}), Address::node(NodeId{1}), flood(10'000));
+    sim.run_all();
+    ASSERT_EQ(rx.times.size(), 1u);
+    EXPECT_GT(rx.times[0], 10'000'000);  // ≥ transfer time
+}
+
+TEST(Network, ClosedNicDropsTraffic) {
+    sim::Simulator sim;
+    Network net(sim, 4, Rng(1));
+    Recorder rx;
+    net.register_node(NodeId{1}, rx.handler(sim));
+    net.register_node(NodeId{0}, nullptr);
+    net.nic(NodeId{1}, Address::node(NodeId{0})).close_for(sim.now(), seconds(1.0));
+    net.send(Address::node(NodeId{0}), Address::node(NodeId{1}), flood());
+    sim.run_all();
+    EXPECT_TRUE(rx.received.empty());
+    EXPECT_EQ(net.nic(NodeId{1}, Address::node(NodeId{0})).dropped(), 1u);
+}
+
+TEST(Network, NicReopensAfterCloseWindow) {
+    sim::Simulator sim;
+    Network net(sim, 4, Rng(1));
+    Recorder rx;
+    net.register_node(NodeId{1}, rx.handler(sim));
+    net.register_node(NodeId{0}, nullptr);
+    net.nic(NodeId{1}, Address::node(NodeId{0})).close_for(sim.now(), milliseconds(10.0));
+    sim.run_for(milliseconds(20.0));
+    net.send(Address::node(NodeId{0}), Address::node(NodeId{1}), flood());
+    sim.run_all();
+    EXPECT_EQ(rx.received.size(), 1u);
+}
+
+TEST(Network, PerPeerNicsIsolated) {
+    sim::Simulator sim;
+    Network net(sim, 4, Rng(1));
+    Recorder rx;
+    net.register_node(NodeId{1}, rx.handler(sim));
+    net.register_node(NodeId{0}, nullptr);
+    net.register_node(NodeId{2}, nullptr);
+    // Closing the NIC facing node 0 must not affect traffic from node 2.
+    net.nic(NodeId{1}, Address::node(NodeId{0})).close_for(sim.now(), seconds(1.0));
+    net.send(Address::node(NodeId{0}), Address::node(NodeId{1}), flood());
+    net.send(Address::node(NodeId{2}), Address::node(NodeId{1}), flood());
+    sim.run_all();
+    ASSERT_EQ(rx.received.size(), 1u);
+    EXPECT_EQ(rx.received[0].first, Address::node(NodeId{2}));
+}
+
+TEST(Network, ClientTrafficUsesSeparateNic) {
+    sim::Simulator sim;
+    Network net(sim, 4, Rng(1));
+    Recorder rx;
+    net.register_node(NodeId{1}, rx.handler(sim));
+    net.register_node(NodeId{0}, nullptr);
+    net.register_client(ClientId{9}, nullptr);
+    // Closing the client NIC must not affect node-to-node traffic.
+    net.nic(NodeId{1}, Address::client(ClientId{9})).close_for(sim.now(), seconds(1.0));
+    net.send(Address::client(ClientId{9}), Address::node(NodeId{1}), flood());
+    net.send(Address::node(NodeId{0}), Address::node(NodeId{1}), flood());
+    sim.run_all();
+    ASSERT_EQ(rx.received.size(), 1u);
+    EXPECT_EQ(rx.received[0].first, Address::node(NodeId{0}));
+}
+
+TEST(Network, BroadcastReachesAllNodes) {
+    sim::Simulator sim;
+    Network net(sim, 4, Rng(1));
+    Recorder rx[4];
+    for (std::uint32_t i = 0; i < 4; ++i) net.register_node(NodeId{i}, rx[i].handler(sim));
+    net.broadcast_to_nodes(Address::node(NodeId{0}), flood());
+    sim.run_all();
+    for (std::uint32_t i = 0; i < 4; ++i) EXPECT_EQ(rx[i].received.size(), 1u) << i;
+}
+
+TEST(Network, StatsCountMessagesAndBytes) {
+    sim::Simulator sim;
+    Network net(sim, 4, Rng(1));
+    net.register_node(NodeId{0}, nullptr);
+    net.register_node(NodeId{1}, nullptr);
+    net.send(Address::node(NodeId{0}), Address::node(NodeId{1}), flood(100));
+    EXPECT_EQ(net.total_messages(), 1u);
+    EXPECT_GT(net.total_bytes(), 100u);  // framing included
+}
+
+}  // namespace
+}  // namespace rbft::net

@@ -1,0 +1,246 @@
+// Unit tests for the discrete-event simulation core: event ordering,
+// cancellation, clock semantics, the CPU core model and timers.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/cpu.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timer.hpp"
+
+namespace rbft::sim {
+namespace {
+
+TEST(Simulator, EventsFireInTimeOrder) {
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule_after(milliseconds(3.0), [&] { order.push_back(3); });
+    sim.schedule_after(milliseconds(1.0), [&] { order.push_back(1); });
+    sim.schedule_after(milliseconds(2.0), [&] { order.push_back(2); });
+    sim.run_all();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, SameTimeEventsFifo) {
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i) {
+        sim.schedule_after(milliseconds(1.0), [&, i] { order.push_back(i); });
+    }
+    sim.run_all();
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, ClockAdvancesToEventTime) {
+    Simulator sim;
+    TimePoint seen{};
+    sim.schedule_after(milliseconds(5.0), [&] { seen = sim.now(); });
+    sim.run_all();
+    EXPECT_EQ(seen.ns, 5'000'000);
+    EXPECT_EQ(sim.now().ns, 5'000'000);
+}
+
+TEST(Simulator, RunUntilStopsAtLimit) {
+    Simulator sim;
+    int fired = 0;
+    sim.schedule_after(milliseconds(1.0), [&] { ++fired; });
+    sim.schedule_after(milliseconds(10.0), [&] { ++fired; });
+    sim.run_until(TimePoint{5'000'000});
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(sim.now().ns, 5'000'000);  // clock lands on the limit
+    sim.run_all();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunForIsRelative) {
+    Simulator sim;
+    sim.run_for(milliseconds(2.0));
+    sim.run_for(milliseconds(3.0));
+    EXPECT_EQ(sim.now().ns, 5'000'000);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+    Simulator sim;
+    int fired = 0;
+    const EventId id = sim.schedule_after(milliseconds(1.0), [&] { ++fired; });
+    sim.cancel(id);
+    sim.run_all();
+    EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulator, CancelUnknownIsNoOp) {
+    Simulator sim;
+    sim.cancel(EventId{999});
+    int fired = 0;
+    sim.schedule_after(milliseconds(1.0), [&] { ++fired; });
+    sim.run_all();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, EventsScheduledDuringRunExecute) {
+    Simulator sim;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 5) sim.schedule_after(milliseconds(1.0), chain);
+    };
+    sim.schedule_after(milliseconds(1.0), chain);
+    sim.run_all();
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(sim.now().ns, 5'000'000);
+}
+
+TEST(Simulator, PastScheduleClampsToNow) {
+    Simulator sim;
+    sim.run_for(milliseconds(10.0));
+    TimePoint fired_at{};
+    sim.schedule_at(TimePoint{1'000'000}, [&] { fired_at = sim.now(); });
+    sim.run_all();
+    EXPECT_EQ(fired_at.ns, 10'000'000);
+}
+
+TEST(Simulator, DispatchCountsReported) {
+    Simulator sim;
+    for (int i = 0; i < 7; ++i) sim.schedule_after(milliseconds(1.0 + i), [] {});
+    EXPECT_EQ(sim.run_until(TimePoint{3'500'000}), 3u);
+    EXPECT_EQ(sim.run_all(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// CPU core.
+
+TEST(CpuCore, WorkSerializes) {
+    Simulator sim;
+    CpuCore core;
+    std::vector<std::int64_t> completions;
+    core.submit(sim, milliseconds(2.0), [&] { completions.push_back(sim.now().ns); });
+    core.submit(sim, milliseconds(3.0), [&] { completions.push_back(sim.now().ns); });
+    sim.run_all();
+    ASSERT_EQ(completions.size(), 2u);
+    EXPECT_EQ(completions[0], 2'000'000);
+    EXPECT_EQ(completions[1], 5'000'000);  // queued behind the first job
+}
+
+TEST(CpuCore, IdleCoreStartsImmediately) {
+    Simulator sim;
+    CpuCore core;
+    sim.run_for(milliseconds(10.0));
+    const TimePoint done = core.submit(sim, milliseconds(1.0), nullptr);
+    EXPECT_EQ(done.ns, 11'000'000);
+}
+
+TEST(CpuCore, BacklogReflectsQueuedWork) {
+    Simulator sim;
+    CpuCore core;
+    EXPECT_EQ(core.backlog(sim).ns, 0);
+    core.charge(sim, milliseconds(4.0));
+    EXPECT_EQ(core.backlog(sim).ns, 4'000'000);
+    sim.run_for(milliseconds(1.0));
+    EXPECT_EQ(core.backlog(sim).ns, 3'000'000);
+    sim.run_for(milliseconds(10.0));
+    EXPECT_EQ(core.backlog(sim).ns, 0);
+}
+
+TEST(CpuCore, BusyTimeAccumulates) {
+    Simulator sim;
+    CpuCore core;
+    core.charge(sim, milliseconds(2.0));
+    core.charge(sim, milliseconds(3.0));
+    EXPECT_EQ(core.busy_time().ns, 5'000'000);
+}
+
+TEST(NodeCpu, CoresIndependent) {
+    Simulator sim;
+    NodeCpu cpu(4);
+    cpu.core(0).charge(sim, milliseconds(10.0));
+    EXPECT_EQ(cpu.core(1).backlog(sim).ns, 0);
+    EXPECT_EQ(cpu.core_count(), 4u);
+}
+
+TEST(NodeCpu, CoreIndexWraps) {
+    Simulator sim;
+    NodeCpu cpu(4);
+    cpu.core(5).charge(sim, milliseconds(1.0));  // wraps to core 1
+    EXPECT_EQ(cpu.core(1).backlog(sim).ns, 1'000'000);
+}
+
+// ---------------------------------------------------------------------------
+// Timers.
+
+TEST(OneShotTimer, FiresOnceAfterDelay) {
+    Simulator sim;
+    OneShotTimer timer;
+    int fired = 0;
+    timer.arm(sim, milliseconds(2.0), [&] { ++fired; });
+    EXPECT_TRUE(timer.armed());
+    sim.run_for(milliseconds(5.0));
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(timer.armed());
+}
+
+TEST(OneShotTimer, DisarmCancels) {
+    Simulator sim;
+    OneShotTimer timer;
+    int fired = 0;
+    timer.arm(sim, milliseconds(2.0), [&] { ++fired; });
+    timer.disarm(sim);
+    sim.run_for(milliseconds(5.0));
+    EXPECT_EQ(fired, 0);
+}
+
+TEST(OneShotTimer, RearmResetsDeadline) {
+    Simulator sim;
+    OneShotTimer timer;
+    std::int64_t fired_at = 0;
+    timer.arm(sim, milliseconds(2.0), [&] { fired_at = sim.now().ns; });
+    sim.run_for(milliseconds(1.0));
+    timer.arm(sim, milliseconds(2.0), [&] { fired_at = sim.now().ns; });
+    sim.run_for(milliseconds(5.0));
+    EXPECT_EQ(fired_at, 3'000'000);  // only the re-armed deadline fired
+}
+
+TEST(PeriodicTimer, TicksAtFixedCadence) {
+    Simulator sim;
+    PeriodicTimer timer;
+    std::vector<std::int64_t> ticks;
+    timer.start(sim, milliseconds(10.0), [&] { ticks.push_back(sim.now().ns); });
+    sim.run_for(milliseconds(35.0));
+    ASSERT_EQ(ticks.size(), 3u);
+    EXPECT_EQ(ticks[0], 10'000'000);
+    EXPECT_EQ(ticks[2], 30'000'000);
+}
+
+TEST(PeriodicTimer, StopHalts) {
+    Simulator sim;
+    PeriodicTimer timer;
+    int ticks = 0;
+    timer.start(sim, milliseconds(10.0), [&] { ++ticks; });
+    sim.run_for(milliseconds(25.0));
+    timer.stop(sim);
+    sim.run_for(milliseconds(100.0));
+    EXPECT_EQ(ticks, 2);
+    EXPECT_FALSE(timer.running());
+}
+
+TEST(PeriodicTimer, StopFromWithinCallback) {
+    Simulator sim;
+    PeriodicTimer timer;
+    int ticks = 0;
+    timer.start(sim, milliseconds(10.0), [&] {
+        if (++ticks == 2) timer.stop(sim);
+    });
+    sim.run_for(milliseconds(100.0));
+    EXPECT_EQ(ticks, 2);
+}
+
+TEST(PeriodicTimer, RestartReplacesCadence) {
+    Simulator sim;
+    PeriodicTimer timer;
+    int ticks = 0;
+    timer.start(sim, milliseconds(10.0), [&] { ++ticks; });
+    timer.start(sim, milliseconds(50.0), [&] { ticks += 100; });
+    sim.run_for(milliseconds(60.0));
+    EXPECT_EQ(ticks, 100);
+}
+
+}  // namespace
+}  // namespace rbft::sim

@@ -1,0 +1,60 @@
+// Throughput calibration probe (not part of the shipped benches).
+#include <cstdio>
+#include <cstring>
+#include "exp/harness.hpp"
+#include "protocols/clusters.hpp"
+#include "rbft/cluster.hpp"
+
+using namespace rbft;
+
+template <typename Cluster>
+void run(Cluster& cluster, double rate, size_t payload, const char* name,
+         bool round_robin = false) {
+    cluster.start();
+    workload::ClientBehavior behavior;
+    behavior.payload_bytes = payload;
+    behavior.round_robin_single = round_robin;
+    auto clients = exp::make_clients(cluster.simulator(), cluster.network(), cluster.keys(),
+                                     cluster.n(), cluster.f(), 20, behavior);
+    workload::LoadGenerator load(cluster.simulator(), exp::client_ptrs(clients),
+                                 workload::LoadSpec::constant(rate, seconds(2.0), 20), Rng(1));
+    load.start();
+    cluster.simulator().run_for(seconds(2.5));
+    auto r = exp::measure_window(clients, TimePoint{500'000'000}, TimePoint{2'000'000'000});
+    printf("%-10s offered=%-7.0f payload=%-5zu -> %7.2f kreq/s mean=%8.2fms p99=%8.2fms done=%lu\n",
+           name, rate, payload, r.kreq_s, r.mean_latency_ms, r.p99_ms, r.completed);
+}
+
+int main(int argc, char** argv) {
+    const char* proto = argc > 1 ? argv[1] : "rbft";
+    const double rate = argc > 2 ? atof(argv[2]) : 40000.0;
+    const size_t payload = argc > 3 ? (size_t)atol(argv[3]) : 8;
+
+    if (!strcmp(proto, "rbft") || !strcmp(proto, "rbft-udp")) {
+        core::ClusterConfig cfg;
+        cfg.use_udp = !strcmp(proto, "rbft-udp");
+        core::Cluster cluster(cfg);
+        cluster.start();
+        workload::ClientBehavior behavior;
+        behavior.payload_bytes = payload;
+        auto clients = exp::make_clients(cluster.simulator(), cluster.network(), cluster.keys(),
+                                         cfg.n(), cfg.f, 20, behavior);
+        workload::LoadGenerator load(cluster.simulator(), exp::client_ptrs(clients),
+                                     workload::LoadSpec::constant(rate, seconds(2.0), 20), Rng(1));
+        load.start();
+        cluster.simulator().run_for(seconds(2.5));
+        auto r = exp::measure_window(clients, TimePoint{500'000'000}, TimePoint{2'000'000'000});
+        printf("%-10s offered=%-7.0f payload=%-5zu -> %7.2f kreq/s mean=%8.2fms p99=%8.2fms done=%lu\n",
+               proto, rate, payload, r.kreq_s, r.mean_latency_ms, r.p99_ms, r.completed);
+    } else if (!strcmp(proto, "aardvark")) {
+        protocols::AardvarkCluster cluster(1, 42, {}, protocols::default_channel_aardvark());
+        run(cluster, rate, payload, proto);
+    } else if (!strcmp(proto, "spinning")) {
+        protocols::SpinningCluster cluster(1, 42, {}, protocols::default_channel_spinning());
+        run(cluster, rate, payload, proto);
+    } else if (!strcmp(proto, "prime")) {
+        protocols::PrimeCluster cluster(1, 42, {}, protocols::default_channel_prime());
+        run(cluster, rate, payload, proto, /*round_robin=*/true);
+    }
+    return 0;
+}
