@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_unfair_primary.dir/bench_fig12_unfair_primary.cpp.o"
+  "CMakeFiles/bench_fig12_unfair_primary.dir/bench_fig12_unfair_primary.cpp.o.d"
+  "bench_fig12_unfair_primary"
+  "bench_fig12_unfair_primary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_unfair_primary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_degradation.dir/bench_table1_degradation.cpp.o"
+  "CMakeFiles/bench_table1_degradation.dir/bench_table1_degradation.cpp.o.d"
+  "bench_table1_degradation"
+  "bench_table1_degradation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_degradation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attacks/attacks.cpp" "src/CMakeFiles/rbft.dir/attacks/attacks.cpp.o" "gcc" "src/CMakeFiles/rbft.dir/attacks/attacks.cpp.o.d"
+  "/root/repo/src/bft/engine.cpp" "src/CMakeFiles/rbft.dir/bft/engine.cpp.o" "gcc" "src/CMakeFiles/rbft.dir/bft/engine.cpp.o.d"
+  "/root/repo/src/bft/messages.cpp" "src/CMakeFiles/rbft.dir/bft/messages.cpp.o" "gcc" "src/CMakeFiles/rbft.dir/bft/messages.cpp.o.d"
+  "/root/repo/src/crypto/authenticator.cpp" "src/CMakeFiles/rbft.dir/crypto/authenticator.cpp.o" "gcc" "src/CMakeFiles/rbft.dir/crypto/authenticator.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "src/CMakeFiles/rbft.dir/crypto/hmac.cpp.o" "gcc" "src/CMakeFiles/rbft.dir/crypto/hmac.cpp.o.d"
+  "/root/repo/src/crypto/keystore.cpp" "src/CMakeFiles/rbft.dir/crypto/keystore.cpp.o" "gcc" "src/CMakeFiles/rbft.dir/crypto/keystore.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/CMakeFiles/rbft.dir/crypto/sha256.cpp.o" "gcc" "src/CMakeFiles/rbft.dir/crypto/sha256.cpp.o.d"
+  "/root/repo/src/exp/runners.cpp" "src/CMakeFiles/rbft.dir/exp/runners.cpp.o" "gcc" "src/CMakeFiles/rbft.dir/exp/runners.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/rbft.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/rbft.dir/net/network.cpp.o.d"
+  "/root/repo/src/protocols/aardvark/aardvark.cpp" "src/CMakeFiles/rbft.dir/protocols/aardvark/aardvark.cpp.o" "gcc" "src/CMakeFiles/rbft.dir/protocols/aardvark/aardvark.cpp.o.d"
+  "/root/repo/src/protocols/baseline.cpp" "src/CMakeFiles/rbft.dir/protocols/baseline.cpp.o" "gcc" "src/CMakeFiles/rbft.dir/protocols/baseline.cpp.o.d"
+  "/root/repo/src/protocols/prime/prime.cpp" "src/CMakeFiles/rbft.dir/protocols/prime/prime.cpp.o" "gcc" "src/CMakeFiles/rbft.dir/protocols/prime/prime.cpp.o.d"
+  "/root/repo/src/protocols/spinning/spinning.cpp" "src/CMakeFiles/rbft.dir/protocols/spinning/spinning.cpp.o" "gcc" "src/CMakeFiles/rbft.dir/protocols/spinning/spinning.cpp.o.d"
+  "/root/repo/src/rbft/cluster.cpp" "src/CMakeFiles/rbft.dir/rbft/cluster.cpp.o" "gcc" "src/CMakeFiles/rbft.dir/rbft/cluster.cpp.o.d"
+  "/root/repo/src/rbft/node.cpp" "src/CMakeFiles/rbft.dir/rbft/node.cpp.o" "gcc" "src/CMakeFiles/rbft.dir/rbft/node.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/rbft.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/rbft.dir/sim/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

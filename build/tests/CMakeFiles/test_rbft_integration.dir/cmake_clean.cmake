@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rbft_integration.dir/test_rbft_integration.cpp.o"
+  "CMakeFiles/test_rbft_integration.dir/test_rbft_integration.cpp.o.d"
+  "test_rbft_integration"
+  "test_rbft_integration.pdb"
+  "test_rbft_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rbft_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rbft_node.dir/test_rbft_node.cpp.o"
+  "CMakeFiles/test_rbft_node.dir/test_rbft_node.cpp.o.d"
+  "test_rbft_node"
+  "test_rbft_node.pdb"
+  "test_rbft_node[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rbft_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_view_change.dir/test_view_change.cpp.o"
+  "CMakeFiles/test_view_change.dir/test_view_change.cpp.o.d"
+  "test_view_change"
+  "test_view_change.pdb"
+  "test_view_change[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_view_change.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_crypto[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_messages[1]_include.cmake")
+include("/root/repo/build/tests/test_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_rbft_node[1]_include.cmake")
+include("/root/repo/build/tests/test_rbft_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_protocols[1]_include.cmake")
+include("/root/repo/build/tests/test_attacks[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_exp[1]_include.cmake")
+include("/root/repo/build/tests/test_resilience[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz_decode[1]_include.cmake")
+include("/root/repo/build/tests/test_monitoring[1]_include.cmake")
+include("/root/repo/build/tests/test_view_change[1]_include.cmake")

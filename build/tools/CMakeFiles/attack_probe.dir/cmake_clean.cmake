@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_probe.dir/attack_probe.cpp.o"
+  "CMakeFiles/attack_probe.dir/attack_probe.cpp.o.d"
+  "attack_probe"
+  "attack_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
