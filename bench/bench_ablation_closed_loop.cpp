@@ -21,8 +21,10 @@ struct ClosedLoopResult {
 };
 
 ClosedLoopResult run_closed_loop(bool attack) {
+    obs::Recorder recorder;  // declared before the cluster: must outlive it
     core::ClusterConfig cfg;
     cfg.seed = 21;
+    cfg.recorder = &recorder;
     core::Cluster cluster(cfg);
     std::unique_ptr<attacks::WorstAttack2> a2;
     if (attack) {
@@ -39,6 +41,7 @@ ClosedLoopResult run_closed_loop(bool attack) {
         endpoints.push_back(std::make_unique<workload::ClientEndpoint>(
             ClientId{c}, cluster.simulator(), cluster.network(), cluster.keys(), cfg.n(),
             cfg.f));
+        endpoints.back()->set_recorder(&recorder);
         loops.push_back(std::make_unique<workload::ClosedLoopClient>(*endpoints.back(), 8,
                                                                      cluster.simulator()));
     }
@@ -46,13 +49,14 @@ ClosedLoopResult run_closed_loop(bool attack) {
     cluster.simulator().run_for(seconds(4.0));
 
     ClosedLoopResult result;
-    const auto window = exp::measure_window(endpoints, TimePoint{} + seconds(1.0),
+    const auto window = exp::measure_window(recorder.metrics(), TimePoint{} + seconds(1.0),
                                             TimePoint{} + seconds(4.0));
     result.kreq_s = window.kreq_s;
     result.mean_ms = window.mean_latency_ms;
     for (std::uint32_t i = 0; i < cluster.node_count(); ++i) {
         if (!cluster.node(i).faulty()) {
-            result.instance_changes += cluster.node(i).stats().instance_changes_done;
+            result.instance_changes +=
+                recorder.metrics().counter_value("rbft.instance_changes_done", i);
         }
     }
     return result;

@@ -15,7 +15,20 @@ InstanceEngine::InstanceEngine(EngineConfig config, sim::Simulator& simulator, s
       core_(core),
       keys_(keys),
       costs_(costs),
-      host_(host) {}
+      host_(host),
+      recorder_(config.recorder) {
+    if (recorder_) {
+        obs::MetricsRegistry& reg = recorder_->metrics();
+        const std::uint32_t node = raw(config_.node);
+        const std::uint32_t inst = raw(config_.instance);
+        ctr_preprepares_sent_ = reg.counter("bft.preprepares_sent", node, inst);
+        ctr_preprepares_accepted_ = reg.counter("bft.preprepares_accepted", node, inst);
+        ctr_batches_delivered_ = reg.counter("bft.batches_delivered", node, inst);
+        ctr_requests_ordered_ = reg.counter("bft.requests_ordered", node, inst);
+        ctr_view_changes_ = reg.counter("bft.view_changes", node, inst);
+        hist_order_latency_ = reg.histogram("bft.order_latency_s", node, inst);
+    }
+}
 
 Digest InstanceEngine::batch_digest(const std::vector<RequestRef>& batch) const {
     crypto::Sha256 hasher;
@@ -173,6 +186,12 @@ void InstanceEngine::form_and_send_preprepare(std::vector<RequestRef> batch) {
                                            pp->embedded_payload_bytes) +
                                  costs_.authenticator_ops(config_.n));
     ++preprepares_sent_;
+    if (ctr_preprepares_sent_) {
+        ctr_preprepares_sent_->add();
+        recorder_->event({simulator_.now(), obs::EventType::kPrePrepareSent, raw(config_.node),
+                          raw(config_.instance), raw(pp->seq), raw(pp->view),
+                          static_cast<double>(pp->batch.size())});
+    }
     if (behavior_.inter_batch_gap.ns > 0) {
         next_pp_allowed_ = simulator_.now() + behavior_.inter_batch_gap;
     }
@@ -275,7 +294,14 @@ void InstanceEngine::accept_pre_prepare(const PrePrepareMsg& m) {
     Slot& s = slot(m.seq);
     if (s.pre_prepare.has_value()) return;
     s.pre_prepare = m;
+    s.pp_at = simulator_.now();
     last_pp_seen_ = simulator_.now();
+    if (ctr_preprepares_accepted_) {
+        ctr_preprepares_accepted_->add();
+        recorder_->event({simulator_.now(), obs::EventType::kPrePrepareAccepted,
+                          raw(config_.node), raw(config_.instance), raw(m.seq), raw(m.view),
+                          static_cast<double>(m.batch.size())});
+    }
 
     for (const auto& ref : m.batch) {
         // In-flight: stop offering these in our own future batches.
@@ -336,6 +362,10 @@ void InstanceEngine::try_prepare(SeqNum seq) {
                                  costs_.authenticator_ops(config_.n));
     s.sent_commit = true;
     s.commits.insert(config_.node);
+    if (recorder_ && recorder_->tracing()) {
+        recorder_->event({simulator_.now(), obs::EventType::kPrepared, raw(config_.node),
+                          raw(config_.instance), raw(seq), raw(s.pre_prepare->view), 0.0});
+    }
     broadcast(commit, Duration{});
     try_commit(seq);
 }
@@ -345,6 +375,11 @@ void InstanceEngine::try_commit(SeqNum seq) {
     if (!s.sent_commit || s.committed) return;
     if (s.commits.size() < commit_quorum(config_.f)) return;
     s.committed = true;
+    if (recorder_ && recorder_->tracing()) {
+        recorder_->event({simulator_.now(), obs::EventType::kCommitted, raw(config_.node),
+                          raw(config_.instance), raw(seq),
+                          raw(s.pre_prepare ? s.pre_prepare->view : view_), 0.0});
+    }
     try_deliver();
 }
 
@@ -374,6 +409,15 @@ void InstanceEngine::try_deliver() {
         }
         ordered_window_.add(batch.requests.size());
         total_ordered_ += batch.requests.size();
+        if (ctr_batches_delivered_) {
+            const double order_latency = (simulator_.now() - s.pp_at).seconds();
+            ctr_batches_delivered_->add();
+            ctr_requests_ordered_->add(batch.requests.size());
+            hist_order_latency_->add(order_latency);
+            recorder_->event({simulator_.now(), obs::EventType::kBatchDelivered,
+                              raw(config_.node), raw(config_.instance), raw(batch.seq),
+                              batch.requests.size(), order_latency});
+        }
 
         next_deliver_ = next(next_deliver_);
         if (config_.rotating_primary) view_ = next(view_);
@@ -463,6 +507,10 @@ void InstanceEngine::start_view_change(ViewId target) {
     vc_target_ = target;
     vc_started_at_ = simulator_.now();
     sent_new_view_ = false;
+    if (recorder_ && recorder_->tracing()) {
+        recorder_->event({simulator_.now(), obs::EventType::kViewChangeStart, raw(config_.node),
+                          raw(config_.instance), raw(target), 0, 0.0});
+    }
     batch_timer_.disarm(simulator_);
     broadcast_view_change();
     maybe_send_new_view();
@@ -581,6 +629,11 @@ void InstanceEngine::install_view(ViewId v, const std::vector<PreparedProof>& re
     view_ = v;
     in_view_change_ = false;
     ++view_changes_done_;
+    if (ctr_view_changes_) {
+        ctr_view_changes_->add();
+        recorder_->event({simulator_.now(), obs::EventType::kViewInstalled, raw(config_.node),
+                          raw(config_.instance), raw(v), 0, 0.0});
+    }
 
     // Discard votes for views now in the past.
     for (auto it = vc_messages_.begin(); it != vc_messages_.end();) {

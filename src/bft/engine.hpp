@@ -31,6 +31,7 @@
 #include "crypto/cost_model.hpp"
 #include "crypto/keystore.hpp"
 #include "net/message.hpp"
+#include "obs/recorder.hpp"
 #include "sim/cpu.hpp"
 #include "sim/simulator.hpp"
 #include "sim/timer.hpp"
@@ -60,6 +61,9 @@ struct EngineConfig {
     /// (Spinning, §III-C).  In this mode view == seq and proposals are
     /// strictly sequential.
     bool rotating_primary = false;
+
+    /// Observability sink shared by the hosting node (null = disabled).
+    obs::Recorder* recorder = nullptr;
 
     /// Checkpoint every this many sequence numbers.
     std::uint64_t checkpoint_interval = 128;
@@ -180,6 +184,7 @@ public:
 private:
     struct Slot {
         std::optional<PrePrepareMsg> pre_prepare;
+        TimePoint pp_at{};  // when the PRE-PREPARE was accepted locally
         std::set<NodeId> prepares;
         std::set<NodeId> commits;
         bool sent_prepare = false;
@@ -268,6 +273,15 @@ private:
     TimePoint last_pp_seen_{};
     bool silent_replica_ = false;
     PrimaryBehavior behavior_;
+
+    // Observability handles (null when no recorder is attached).
+    obs::Recorder* recorder_ = nullptr;
+    obs::Counter* ctr_preprepares_sent_ = nullptr;
+    obs::Counter* ctr_preprepares_accepted_ = nullptr;
+    obs::Counter* ctr_batches_delivered_ = nullptr;
+    obs::Counter* ctr_requests_ordered_ = nullptr;
+    obs::Counter* ctr_view_changes_ = nullptr;
+    LatencyHistogram* hist_order_latency_ = nullptr;
 
     WindowCounter ordered_window_;
     std::uint64_t total_ordered_ = 0;

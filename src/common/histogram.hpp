@@ -13,6 +13,22 @@
 
 namespace rbft {
 
+/// Nearest-rank quantile of an ascending-sorted sample: the smallest value
+/// v such that at least ceil(q * n) samples are <= v.  Unlike the naive
+/// `sorted[(n * 99) / 100]`, this does not collapse to the maximum (or
+/// truncate to a lower percentile) for small n.  Shared by the experiment
+/// harness, the bench summaries and trace_inspect so every reported
+/// percentile uses one definition.
+[[nodiscard]] inline double quantile_sorted(const std::vector<double>& sorted, double q) noexcept {
+    if (sorted.empty()) return 0.0;
+    if (q <= 0.0) return sorted.front();
+    if (q >= 1.0) return sorted.back();
+    auto rank = static_cast<std::size_t>(std::ceil(q * static_cast<double>(sorted.size())));
+    if (rank == 0) rank = 1;
+    if (rank > sorted.size()) rank = sorted.size();
+    return sorted[rank - 1];
+}
+
 /// Streaming mean/min/max/count over double-valued samples.
 class Summary {
 public:

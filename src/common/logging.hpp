@@ -2,12 +2,15 @@
 //
 // The simulator is single-threaded, so logging needs no synchronization.
 // Logs are off by default (benches and tests run silently); examples turn
-// them on to narrate protocol steps.
+// them on to narrate protocol steps.  Output goes through a settable sink
+// (stderr by default) so tests can capture and assert on it.
 #pragma once
 
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <string_view>
+#include <utility>
 
 namespace rbft {
 
@@ -15,6 +18,8 @@ enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
 
 class Logger {
 public:
+    using Sink = std::function<void(LogLevel, std::string_view component, std::string_view message)>;
+
     static Logger& instance() {
         static Logger logger;
         return logger;
@@ -22,16 +27,29 @@ public:
 
     void set_level(LogLevel level) noexcept { level_ = level; }
     [[nodiscard]] LogLevel level() const noexcept { return level_; }
-    [[nodiscard]] bool enabled(LogLevel level) const noexcept { return level >= level_; }
+
+    /// True iff a message at `level` would be emitted.  kOff is a
+    /// threshold, never a message level: logging *at* kOff is always
+    /// discarded, and a logger set to kOff emits nothing.
+    [[nodiscard]] bool enabled(LogLevel level) const noexcept {
+        return level != LogLevel::kOff && level_ != LogLevel::kOff && level >= level_;
+    }
+
+    /// Routes output through `sink` instead of stderr; pass nullptr to
+    /// restore the default.
+    void set_sink(Sink sink) { sink_ = std::move(sink); }
 
     void log(LogLevel level, std::string_view component, std::string_view message) {
         if (!enabled(level)) return;
+        if (sink_) {
+            sink_(level, component, message);
+            return;
+        }
         std::fprintf(stderr, "[%s] %.*s: %.*s\n", name(level),
                      static_cast<int>(component.size()), component.data(),
                      static_cast<int>(message.size()), message.data());
     }
 
-private:
     static const char* name(LogLevel level) noexcept {
         switch (level) {
             case LogLevel::kTrace: return "TRACE";
@@ -44,7 +62,9 @@ private:
         return "?";
     }
 
+private:
     LogLevel level_ = LogLevel::kOff;
+    Sink sink_;
 };
 
 inline void log_info(std::string_view component, const std::string& message) {

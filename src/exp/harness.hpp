@@ -12,7 +12,9 @@
 #include <string>
 #include <vector>
 
+#include "common/histogram.hpp"
 #include "common/time.hpp"
+#include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
 #include "workload/client.hpp"
 #include "workload/load.hpp"
@@ -28,32 +30,62 @@ struct RunResult {
     std::uint64_t completed = 0;
 };
 
-/// Measures the completions of `clients` between `from` and `to`.
-[[nodiscard]] inline RunResult measure_window(
-    const std::vector<std::unique_ptr<workload::ClientEndpoint>>& clients, TimePoint from,
-    TimePoint to) {
+namespace detail {
+
+/// Folds window latencies (ms) into a RunResult; `lats` is consumed.
+[[nodiscard]] inline RunResult finish_window(std::vector<double>&& lats, double latency_sum,
+                                             std::uint64_t sent, TimePoint from, TimePoint to) {
     RunResult r;
-    double latency_sum = 0.0;
-    std::vector<double> lats;
-    for (const auto& c : clients) {
-        r.sent += c->sent();
-        for (const auto& [t, lat] : c->completions().points) {
-            if (t >= from.seconds() && t < to.seconds()) {
-                ++r.completed;
-                latency_sum += lat;
-                lats.push_back(lat);
-            }
-        }
-    }
+    r.sent = sent;
+    r.completed = lats.size();
     const double window_s = (to - from).seconds();
     r.kreq_s = window_s > 0 ? static_cast<double>(r.completed) / window_s / 1000.0 : 0.0;
     if (!lats.empty()) {
         r.mean_latency_ms = latency_sum / static_cast<double>(lats.size());
         std::sort(lats.begin(), lats.end());
-        r.p50_ms = lats[lats.size() / 2];
-        r.p99_ms = lats[(lats.size() * 99) / 100];
+        r.p50_ms = quantile_sorted(lats, 0.50);
+        r.p99_ms = quantile_sorted(lats, 0.99);
     }
     return r;
+}
+
+}  // namespace detail
+
+/// Measures the completions of `clients` between `from` and `to`.
+[[nodiscard]] inline RunResult measure_window(
+    const std::vector<std::unique_ptr<workload::ClientEndpoint>>& clients, TimePoint from,
+    TimePoint to) {
+    double latency_sum = 0.0;
+    std::uint64_t sent = 0;
+    std::vector<double> lats;
+    for (const auto& c : clients) {
+        sent += c->sent();
+        for (const auto& [t, lat] : c->completions().points) {
+            if (t >= from.seconds() && t < to.seconds()) {
+                latency_sum += lat;
+                lats.push_back(lat);
+            }
+        }
+    }
+    return detail::finish_window(std::move(lats), latency_sum, sent, from, to);
+}
+
+/// Registry-based variant: measures from the aggregated "client.completions"
+/// series and "client.sent" counter written by recorder-attached clients.
+[[nodiscard]] inline RunResult measure_window(const obs::MetricsRegistry& registry,
+                                              TimePoint from, TimePoint to) {
+    double latency_sum = 0.0;
+    std::vector<double> lats;
+    if (const Series* completions = registry.find_series("client.completions")) {
+        for (const auto& [t, lat] : completions->points) {
+            if (t >= from.seconds() && t < to.seconds()) {
+                latency_sum += lat;
+                lats.push_back(lat);
+            }
+        }
+    }
+    return detail::finish_window(std::move(lats), latency_sum,
+                                 registry.counter_sum("client.sent"), from, to);
 }
 
 /// Builds `count` client endpoints with the given behaviour.

@@ -36,6 +36,20 @@ CapacityCoeffs coeffs(Protocol protocol) {
 
 Duration dynamic_stage() { return milliseconds(200.0); }
 
+/// Scenario-supplied recorder, or a fresh one.  Tracing is switched on when
+/// an export directory is configured so trace.json comes out non-empty.
+std::shared_ptr<obs::Recorder> make_run_recorder(std::shared_ptr<obs::Recorder> supplied) {
+    auto recorder = supplied ? std::move(supplied) : std::make_shared<obs::Recorder>();
+    if (obs::export_dir_from_env() && !recorder->tracing()) recorder->enable_trace();
+    return recorder;
+}
+
+/// Exports to $RBFT_OBS_DIR when set (benches opt in without CLI changes).
+/// Successive runs of one binary overwrite: the last experiment wins.
+void maybe_export(obs::Recorder& recorder) {
+    if (const char* dir = obs::export_dir_from_env()) recorder.export_to_dir(dir);
+}
+
 }  // namespace
 
 double service_time(Protocol protocol, std::size_t payload_bytes, Duration exec_cost) {
@@ -84,6 +98,9 @@ ScenarioOutput run_rbft(const RbftScenario& scenario) {
     cfg.monitoring.delta = scenario.delta;
     cfg.instances_override = scenario.instances_override;
 
+    auto recorder = make_run_recorder(scenario.recorder);
+    cfg.recorder = recorder.get();
+
     core::Cluster cluster(cfg);
 
     std::unique_ptr<attacks::WorstAttack1> attack1;
@@ -110,6 +127,7 @@ ScenarioOutput run_rbft(const RbftScenario& scenario) {
         scenario.load == LoadShape::kDynamic ? 50 : scenario.clients;
     auto clients = make_clients(cluster.simulator(), cluster.network(), cluster.keys(),
                                 cfg.n(), cfg.f, client_count, behavior);
+    for (auto& c : clients) c->set_recorder(recorder.get());
 
     TimePoint window_from{}, window_to{};
     workload::LoadSpec spec;
@@ -129,11 +147,12 @@ ScenarioOutput run_rbft(const RbftScenario& scenario) {
     cluster.simulator().run_until(window_to + milliseconds(300.0));
 
     ScenarioOutput out;
-    out.result = measure_window(clients, window_from, window_to);
+    out.recorder = recorder;
+    out.result = measure_window(recorder->metrics(), window_from, window_to);
     for (std::uint32_t i = 0; i < cluster.node_count(); ++i) {
         core::Node& node = cluster.node(i);
         if (node.faulty()) continue;
-        out.instance_changes += node.stats().instance_changes_done;
+        out.instance_changes += recorder->metrics().counter_value("rbft.instance_changes_done", i);
 
         double master_sum = 0.0, backup_sum = 0.0;
         std::uint64_t master_n = 0, backup_n = 0;
@@ -153,6 +172,7 @@ ScenarioOutput run_rbft(const RbftScenario& scenario) {
         out.node_throughputs.emplace_back(master_n ? master_sum / master_n : 0.0,
                                           backup_n ? backup_sum / backup_n : 0.0);
     }
+    maybe_export(*recorder);
     return out;
 }
 
@@ -163,7 +183,8 @@ namespace {
 template <typename Cluster, typename AttackT>
 ScenarioOutput drive_baseline(Cluster& cluster, AttackT* attack,
                               const BaselineScenario& scenario, Protocol protocol,
-                              bool round_robin_clients) {
+                              bool round_robin_clients,
+                              const std::shared_ptr<obs::Recorder>& recorder) {
     cluster.start();
     if (attack) attack->start();
 
@@ -179,6 +200,9 @@ ScenarioOutput drive_baseline(Cluster& cluster, AttackT* attack,
     const std::uint32_t client_count = scenario.load == LoadShape::kDynamic ? 50 : scenario.clients;
     auto clients = make_clients(cluster.simulator(), cluster.network(), cluster.keys(),
                                 cluster.n(), cluster.f(), client_count, behavior);
+    // The Prime attack's heavy client below is deliberately left detached:
+    // attack traffic must not count toward measured throughput.
+    for (auto& c : clients) c->set_recorder(recorder.get());
 
     TimePoint window_from{}, window_to{};
     workload::LoadSpec spec;
@@ -217,7 +241,8 @@ ScenarioOutput drive_baseline(Cluster& cluster, AttackT* attack,
     cluster.simulator().run_until(window_to + milliseconds(300.0));
 
     ScenarioOutput out;
-    out.result = measure_window(clients, window_from, window_to);
+    out.recorder = recorder;
+    out.result = measure_window(recorder->metrics(), window_from, window_to);
     return out;
 }
 
@@ -226,7 +251,9 @@ ScenarioOutput drive_baseline(Cluster& cluster, AttackT* attack,
 ScenarioOutput run_baseline(const BaselineScenario& scenario) {
     switch (scenario.protocol) {
         case Protocol::kAardvark: {
+            auto recorder = make_run_recorder(scenario.recorder);
             protocols::AardvarkConfig cfg;
+            cfg.base.recorder = recorder.get();
             (void)scenario.aardvark_fast_schedule;  // defaults are already
             // time-compressed vs the paper's 5 s grace on hour-long runs.
             protocols::AardvarkCluster cluster(1, scenario.seed, cfg,
@@ -242,14 +269,15 @@ ScenarioOutput run_baseline(const BaselineScenario& scenario) {
                 attack = std::make_unique<attacks::AardvarkAttack>(cluster, malicious);
             }
             ScenarioOutput out = drive_baseline(cluster, attack.get(), scenario,
-                                                Protocol::kAardvark, false);
-            for (std::uint32_t i = 0; i < cluster.n(); ++i) {
-                out.view_changes += cluster.node(i).view_changes();
-            }
+                                                Protocol::kAardvark, false, recorder);
+            out.view_changes = recorder->metrics().counter_sum("baseline.view_changes_started");
+            maybe_export(*recorder);
             return out;
         }
         case Protocol::kSpinning: {
+            auto recorder = make_run_recorder(scenario.recorder);
             protocols::SpinningConfig cfg;
+            cfg.base.recorder = recorder.get();
             protocols::SpinningCluster cluster(1, scenario.seed, cfg,
                                                protocols::default_channel_spinning());
             std::unique_ptr<attacks::SpinningAttack> attack;
@@ -257,14 +285,15 @@ ScenarioOutput run_baseline(const BaselineScenario& scenario) {
                 attack = std::make_unique<attacks::SpinningAttack>(cluster, NodeId{3});
             }
             ScenarioOutput out = drive_baseline(cluster, attack.get(), scenario,
-                                                Protocol::kSpinning, false);
-            for (std::uint32_t i = 0; i < cluster.n(); ++i) {
-                out.view_changes += cluster.node(i).timeouts_fired();
-            }
+                                                Protocol::kSpinning, false, recorder);
+            out.view_changes = recorder->metrics().counter_sum("spinning.timeouts");
+            maybe_export(*recorder);
             return out;
         }
         case Protocol::kPrime: {
+            auto recorder = make_run_recorder(scenario.recorder);
             protocols::prime::PrimeConfig cfg;
+            cfg.recorder = recorder.get();
             protocols::PrimeCluster cluster(1, scenario.seed, cfg,
                                             protocols::default_channel_prime());
             std::unique_ptr<attacks::PrimeAttack> attack;
@@ -273,10 +302,9 @@ ScenarioOutput run_baseline(const BaselineScenario& scenario) {
                 attack = std::make_unique<attacks::PrimeAttack>(cluster, NodeId{0});
             }
             ScenarioOutput out =
-                drive_baseline(cluster, attack.get(), scenario, Protocol::kPrime, true);
-            for (std::uint32_t i = 0; i < cluster.n(); ++i) {
-                out.view_changes += cluster.node(i).stats().rotations;
-            }
+                drive_baseline(cluster, attack.get(), scenario, Protocol::kPrime, true, recorder);
+            out.view_changes = recorder->metrics().counter_sum("prime.rotations");
+            maybe_export(*recorder);
             return out;
         }
         default:

@@ -10,10 +10,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/time.hpp"
 #include "exp/harness.hpp"
+#include "obs/recorder.hpp"
 #include "rbft/cluster.hpp"
 
 namespace rbft::exp {
@@ -43,6 +45,10 @@ struct ScenarioOutput {
     /// Per correct node: mean (master, backup) kreq/s measured by the
     /// node's monitoring module over the measurement window (Figs. 9 / 11).
     std::vector<std::pair<double, double>> node_throughputs;
+    /// The observability sink of the run (scenario-supplied, or created by
+    /// the runner): all metrics and — when tracing was enabled — the full
+    /// protocol trace of the experiment.
+    std::shared_ptr<obs::Recorder> recorder;
 };
 
 struct RbftScenario {
@@ -61,6 +67,10 @@ struct RbftScenario {
     std::uint32_t instances_override = 0;  // 0 = f+1 (ablation knob)
     Duration warmup = seconds(1.0);
     Duration measure = seconds(2.0);
+    /// Observability sink to attach; null = the runner creates its own.
+    /// Tracing is enabled automatically when RBFT_OBS_DIR is set, and the
+    /// runner exports metrics.json/trace.json there after the run.
+    std::shared_ptr<obs::Recorder> recorder;
 };
 
 [[nodiscard]] ScenarioOutput run_rbft(const RbftScenario& scenario);
@@ -82,6 +92,10 @@ struct BaselineScenario {
     /// Aardvark: number of honest-primary views to bootstrap expectation
     /// history before the malicious node's turn (static-load attack).
     bool aardvark_fast_schedule = true;
+    /// Observability sink to attach; null = the runner creates its own.
+    /// Tracing is enabled automatically when RBFT_OBS_DIR is set, and the
+    /// runner exports metrics.json/trace.json there after the run.
+    std::shared_ptr<obs::Recorder> recorder;
 };
 
 [[nodiscard]] ScenarioOutput run_baseline(const BaselineScenario& scenario);

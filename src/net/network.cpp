@@ -13,6 +13,15 @@ Network::Network(sim::Simulator& simulator, std::uint32_t node_count, Rng rng,
       node_channel_(node_channel),
       client_channel_(client_channel) {}
 
+void Network::set_recorder(obs::Recorder* recorder) {
+    recorder_ = recorder;
+    obs::MetricsRegistry* reg = recorder ? &recorder->metrics() : nullptr;
+    messages_counter_ = reg ? reg->counter("net.messages_sent") : nullptr;
+    bytes_counter_ = reg ? reg->counter("net.bytes_sent") : nullptr;
+    lost_counter_ = reg ? reg->counter("net.messages_lost") : nullptr;
+    closed_drop_counter_ = reg ? reg->counter("net.dropped_closed_nic") : nullptr;
+}
+
 void Network::register_node(NodeId id, Handler handler) {
     auto [it, inserted] = nodes_.try_emplace(
         raw(id), node_count_, node_channel_.bandwidth_bps, client_channel_.bandwidth_bps);
@@ -57,9 +66,16 @@ void Network::send(Address from, Address to, MessagePtr message) {
 
     ++total_messages_;
     total_bytes_ += bytes;
+    if (messages_counter_) {
+        messages_counter_->add();
+        bytes_counter_->add(bytes);
+    }
 
     // Loss (only meaningful for UDP-style channels).
-    if (params.loss_prob > 0.0 && rng_.next_bool(params.loss_prob)) return;
+    if (params.loss_prob > 0.0 && rng_.next_bool(params.loss_prob)) {
+        if (lost_counter_) lost_counter_->add();
+        return;
+    }
 
     // Self-delivery: loopback, no NIC involvement, tiny constant latency.
     if (from == to) {
@@ -94,9 +110,21 @@ void Network::send(Address from, Address to, MessagePtr message) {
             Nic& rx = nic(NodeId{to.index}, from);
             if (rx.closed(arrival)) {
                 rx.count_drop();
+                if (closed_drop_counter_) closed_drop_counter_->add();
+                if (recorder_ && recorder_->tracing()) {
+                    recorder_->event({arrival, obs::EventType::kMessageDropped, to.index,
+                                      obs::kNoInstance, channel_key(from, to) >> 32, 0, 0.0});
+                }
                 return;
             }
             const TimePoint ready = rx.serialize(arrival, bytes);
+            // Sampled NIC queue-depth reading: backlog the arriving message
+            // observed on the receive NIC, in nanoseconds.
+            if (recorder_ && recorder_->tracing() && (++nic_sample_seq_ % kNicSampleStride) == 0) {
+                recorder_->event({arrival, obs::EventType::kNicSample, to.index, obs::kNoInstance,
+                                  static_cast<std::uint64_t>((ready - arrival).ns),
+                                  channel_key(from, to) >> 32, 0.0});
+            }
             simulator_.schedule_at(ready,
                                    [h = port->second.handler, from, message] { h(from, message); });
         });

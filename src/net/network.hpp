@@ -28,6 +28,7 @@
 #include "common/rng.hpp"
 #include "common/time.hpp"
 #include "net/message.hpp"
+#include "obs/recorder.hpp"
 #include "sim/simulator.hpp"
 
 namespace rbft::net {
@@ -121,6 +122,11 @@ public:
     [[nodiscard]] std::uint64_t total_messages() const noexcept { return total_messages_; }
     [[nodiscard]] std::uint64_t total_bytes() const noexcept { return total_bytes_; }
 
+    /// Attaches observability: fabric-wide message/byte/drop counters plus
+    /// sampled NIC queue-depth trace events (one every kNicSampleStride
+    /// node-bound deliveries).  Null detaches.
+    void set_recorder(obs::Recorder* recorder);
+
 private:
     struct NodePort {
         Handler handler;
@@ -149,6 +155,14 @@ private:
     std::unordered_map<std::uint64_t, TimePoint> fifo_last_;  // per ordered channel
     std::uint64_t total_messages_ = 0;
     std::uint64_t total_bytes_ = 0;
+
+    static constexpr std::uint64_t kNicSampleStride = 64;
+    obs::Recorder* recorder_ = nullptr;
+    obs::Counter* messages_counter_ = nullptr;
+    obs::Counter* bytes_counter_ = nullptr;
+    obs::Counter* lost_counter_ = nullptr;
+    obs::Counter* closed_drop_counter_ = nullptr;
+    std::uint64_t nic_sample_seq_ = 0;
 };
 
 }  // namespace rbft::net

@@ -1,0 +1,66 @@
+// The Recorder bundles the metrics registry and the flight-recorder trace
+// ring, and owns JSON export (metrics.json / trace.json).
+//
+// Usage: construct one Recorder per simulation run, hand a pointer to the
+// components being observed (cluster config, network, simulator, clients),
+// run, then export.  Components treat a null recorder as "observability
+// disabled" and skip all instrumentation, so the disabled-path cost is one
+// pointer test.  Tracing is off by default even with a recorder attached;
+// enable_trace() turns the flight recorder on.
+//
+// Export is deterministic: registry maps iterate in key order, trace events
+// are written oldest-first with integer nanosecond timestamps, and doubles
+// are formatted with a fixed "%.9g" — two same-seed runs produce
+// bit-identical files.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace rbft::obs {
+
+class Recorder {
+public:
+    [[nodiscard]] MetricsRegistry& metrics() noexcept { return metrics_; }
+    [[nodiscard]] const MetricsRegistry& metrics() const noexcept { return metrics_; }
+
+    /// Turns the flight recorder on (idempotent; `capacity` applies to the
+    /// first call only).
+    void enable_trace(std::size_t capacity = TraceRing::kDefaultCapacity) {
+        if (!tracing_) trace_ = TraceRing(capacity);
+        tracing_ = true;
+    }
+    [[nodiscard]] bool tracing() const noexcept { return tracing_; }
+    [[nodiscard]] TraceRing& trace() noexcept { return trace_; }
+    [[nodiscard]] const TraceRing& trace() const noexcept { return trace_; }
+
+    /// Records a trace event iff tracing is enabled.  The hot-path guard
+    /// callers should use is `if (rec && rec->tracing())`, but calling
+    /// unconditionally is safe.
+    void event(const TraceEvent& e) {
+        if (tracing_) trace_.record(e);
+    }
+
+    // -- JSON export ---------------------------------------------------------
+
+    void write_metrics_json(std::ostream& out) const;
+    void write_trace_json(std::ostream& out) const;
+
+    /// Writes `<dir>/metrics.json` and `<dir>/trace.json` (trace only when
+    /// tracing is enabled).  Returns false if a file could not be opened.
+    bool export_to_dir(const std::string& dir) const;
+
+private:
+    MetricsRegistry metrics_;
+    TraceRing trace_{0};  // re-made with real capacity by enable_trace()
+    bool tracing_ = false;
+};
+
+/// Directory requested via the RBFT_OBS_DIR environment variable, or
+/// nullptr when observability export is not requested.
+[[nodiscard]] const char* export_dir_from_env();
+
+}  // namespace rbft::obs

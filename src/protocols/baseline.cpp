@@ -24,8 +24,20 @@ BaselineNode::BaselineNode(BaselineConfig config, sim::Simulator& simulator,
     ec.order_full_requests = config_.order_full_requests;
     ec.rotating_primary = config_.rotating_primary;
     ec.checkpoint_interval = config_.checkpoint_interval;
+    ec.recorder = config_.recorder;
     engine_ = std::make_unique<bft::InstanceEngine>(ec, simulator_, cpu_.core(0), keys_,
                                                     costs_, *this);
+
+    recorder_ = config_.recorder;
+    if (recorder_) {
+        obs::MetricsRegistry& reg = recorder_->metrics();
+        const std::uint32_t node = raw(config_.id);
+        ctr_requests_verified_ = reg.counter("baseline.requests_verified", node);
+        ctr_requests_invalid_ = reg.counter("baseline.requests_invalid", node);
+        ctr_requests_shed_ = reg.counter("baseline.requests_shed", node);
+        ctr_requests_executed_ = reg.counter("baseline.requests_executed", node);
+        ctr_view_changes_ = reg.counter("baseline.view_changes_started", node);
+    }
 }
 
 void BaselineNode::on_message(net::Address from, const net::MessagePtr& m) {
@@ -36,6 +48,7 @@ void BaselineNode::on_message(net::Address from, const net::MessagePtr& m) {
         if (blacklisted_clients_.contains(req->client)) return;
         if (cpu_.core(0).backlog(simulator_) > config_.max_client_queue_delay) {
             ++stats_.requests_shed;  // bounded client queue overflow
+            if (ctr_requests_shed_) ctr_requests_shed_->add();
             return;
         }
 
@@ -44,14 +57,24 @@ void BaselineNode::on_message(net::Address from, const net::MessagePtr& m) {
         cpu_.core(0).submit(simulator_, cost, [this, req] {
             if ((req->corrupt_mac_mask >> raw(config_.id)) & 1) {
                 ++stats_.requests_invalid;
+                if (ctr_requests_invalid_) ctr_requests_invalid_->add();
                 return;
             }
             if (config_.verify_client_signatures && req->corrupt_sig) {
                 ++stats_.requests_invalid;
+                if (ctr_requests_invalid_) ctr_requests_invalid_->add();
                 blacklisted_clients_.insert(req->client);
                 return;
             }
             ++stats_.requests_verified;
+            if (ctr_requests_verified_) {
+                ctr_requests_verified_->add();
+                if (recorder_->tracing()) {
+                    recorder_->event({simulator_.now(), obs::EventType::kRequestReceived,
+                                      raw(config_.id), obs::kNoInstance, raw(req->client),
+                                      raw(req->rid), 0.0});
+                }
+            }
             offered_window_.add(1);
 
             if (auto it = last_reply_.find(req->client);
@@ -111,6 +134,7 @@ void BaselineNode::execute_request(const bft::RequestRef& ref) {
         if (executed_.contains(key)) return;
         executed_.insert(key);
         ++stats_.requests_executed;
+        if (ctr_requests_executed_) ctr_requests_executed_->add();
 
         bft::ReplyMsg reply;
         reply.client = req->client;

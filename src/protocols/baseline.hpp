@@ -24,6 +24,7 @@
 #include "crypto/keystore.hpp"
 #include "net/flood.hpp"
 #include "net/network.hpp"
+#include "obs/recorder.hpp"
 #include "rbft/service.hpp"
 #include "sim/cpu.hpp"
 #include "sim/timer.hpp"
@@ -48,6 +49,9 @@ struct BaselineConfig {
     bool order_full_requests = true;  // these protocols order whole requests
     bool rotating_primary = false;
     std::uint64_t checkpoint_interval = 128;
+    /// Observability sink (copied to every node from the cluster template;
+    /// must outlive the cluster).  Null = disabled.
+    obs::Recorder* recorder = nullptr;
     /// Bounded client queues (Aardvark §III-B: fair scheduling between
     /// client and replica traffic): client requests are shed when the event
     /// loop is this far behind, so protocol messages keep bounded delay.
@@ -120,6 +124,14 @@ protected:
     WindowCounter offered_window_;  // verified client requests (load signal)
     BaselineStats stats_;
     bool faulty_ = false;
+
+    // Observability handles (null when no recorder is attached).
+    obs::Recorder* recorder_ = nullptr;
+    obs::Counter* ctr_requests_verified_ = nullptr;
+    obs::Counter* ctr_requests_invalid_ = nullptr;
+    obs::Counter* ctr_requests_shed_ = nullptr;
+    obs::Counter* ctr_requests_executed_ = nullptr;
+    obs::Counter* ctr_view_changes_ = nullptr;
 };
 
 }  // namespace rbft::protocols

@@ -9,6 +9,7 @@
 #include "crypto/cost_model.hpp"
 #include "crypto/keystore.hpp"
 #include "net/network.hpp"
+#include "obs/recorder.hpp"
 #include "protocols/aardvark/aardvark.hpp"
 #include "protocols/prime/prime.hpp"
 #include "protocols/spinning/spinning.hpp"
@@ -31,6 +32,18 @@ public:
                         [] { return std::make_unique<core::NullService>(); })
         : f_(f), n_(cluster_size(f)), keys_(seed), costs_(costs) {
         network_ = std::make_unique<net::Network>(simulator_, n_, Rng(seed), channel, channel);
+        // Attach observability when the template carries a recorder (directly
+        // for Prime, nested in the shared BaselineConfig for the others).
+        obs::Recorder* recorder = nullptr;
+        if constexpr (requires { node_template.recorder; }) {
+            recorder = node_template.recorder;
+        } else {
+            recorder = node_template.base.recorder;
+        }
+        if (recorder) {
+            simulator_.set_metrics(&recorder->metrics());
+            network_->set_recorder(recorder);
+        }
         for (std::uint32_t i = 0; i < n_; ++i) {
             ConfigT cfg = node_template;
             cfg.assign_topology(NodeId{i}, n_, f_);

@@ -18,7 +18,18 @@ PrimeNode::PrimeNode(PrimeConfig config, sim::Simulator& simulator, net::Network
       cpu_(1),
       exec_target_(config.n, 0),
       exec_done_(config.n, 0),
-      certified_upto_(config.n, 0) {}
+      certified_upto_(config.n, 0) {
+    recorder_ = config_.recorder;
+    if (recorder_) {
+        obs::MetricsRegistry& reg = recorder_->metrics();
+        const std::uint32_t node = raw(config_.id);
+        ctr_requests_received_ = reg.counter("prime.requests_received", node);
+        ctr_requests_executed_ = reg.counter("prime.requests_executed", node);
+        ctr_orders_sent_ = reg.counter("prime.orders_sent", node);
+        ctr_suspects_sent_ = reg.counter("prime.suspects_sent", node);
+        ctr_rotations_ = reg.counter("prime.rotations", node);
+    }
+}
 
 void PrimeNode::start() {
     po_timer_.start(simulator_, config_.po_period, [this] { flush_po_buffer(); });
@@ -106,6 +117,14 @@ void PrimeNode::handle_request(std::shared_ptr<const bft::RequestMsg> req) {
         if (seen_requests_.contains(key) || executed_.contains(key)) return;
         seen_requests_.insert(key);
         ++stats_.requests_received;
+        if (ctr_requests_received_) {
+            ctr_requests_received_->add();
+            if (recorder_->tracing()) {
+                recorder_->event({simulator_.now(), obs::EventType::kRequestReceived,
+                                  raw(config_.id), obs::kNoInstance, raw(req->client),
+                                  raw(req->rid), 0.0});
+            }
+        }
         po_buffer_.push_back(req);
     });
 }
@@ -230,6 +249,7 @@ void PrimeNode::send_order() {
     order->sig = keys_.sign(crypto::Principal::node(config_.id), {});
     cpu_.core(0).charge(simulator_, costs_.digest(order->wire_size()) + costs_.sig_sign_op);
     ++stats_.orders_sent;
+    if (ctr_orders_sent_) ctr_orders_sent_->add();
     broadcast(order);
 
     // Apply locally.
@@ -283,6 +303,7 @@ void PrimeNode::execute_po(const PoRequestMsg& po) {
             network_.send(net::Address::node(config_.id), net::Address::client(req->client),
                           std::make_shared<bft::ReplyMsg>(reply));
             ++stats_.requests_executed;
+            if (ctr_requests_executed_) ctr_requests_executed_->add();
         });
     }
 }
@@ -331,6 +352,7 @@ void PrimeNode::check_tick() {
 
     suspected_current_ = true;
     ++stats_.suspects_sent;
+    if (ctr_suspects_sent_) ctr_suspects_sent_->add();
     if (getenv("PRIME_DEBUG")) {
         std::fprintf(stderr, "[%u] t=%.3f SUSPECT gap=%.1fms bound=%.1fms rtt=%.2fms\n",
                      raw(config_.id), simulator_.now().seconds(),
@@ -361,6 +383,13 @@ void PrimeNode::rotate_primary() {
                          suspect_votes_.upper_bound(rotation_round_));
     ++rotation_round_;
     ++stats_.rotations;
+    if (ctr_rotations_) {
+        ctr_rotations_->add();
+        if (recorder_->tracing()) {
+            recorder_->event({simulator_.now(), obs::EventType::kViewInstalled, raw(config_.id),
+                              obs::kNoInstance, rotation_round_, 0, 0.0});
+        }
+    }
     suspected_current_ = false;
     last_order_received_ = simulator_.now();  // grace for the new primary
 }

@@ -35,6 +35,7 @@
 #include "crypto/cost_model.hpp"
 #include "crypto/keystore.hpp"
 #include "net/network.hpp"
+#include "obs/recorder.hpp"
 #include "protocols/prime/messages.hpp"
 #include "rbft/service.hpp"
 #include "sim/cpu.hpp"
@@ -70,6 +71,9 @@ struct PrimeConfig {
     double k_lat = 3.0;
     /// Suspicion check cadence.
     Duration check_period = milliseconds(5.0);
+    /// Observability sink (copied to every node from the cluster template;
+    /// must outlive the cluster).  Null = disabled.
+    obs::Recorder* recorder = nullptr;
 };
 
 struct PrimeStats {
@@ -185,6 +189,14 @@ private:
     Duration order_gap_override_{};
 
     PrimeStats stats_;
+
+    // Observability handles (null when no recorder is attached).
+    obs::Recorder* recorder_ = nullptr;
+    obs::Counter* ctr_requests_received_ = nullptr;
+    obs::Counter* ctr_requests_executed_ = nullptr;
+    obs::Counter* ctr_orders_sent_ = nullptr;
+    obs::Counter* ctr_suspects_sent_ = nullptr;
+    obs::Counter* ctr_rotations_ = nullptr;
     bool faulty_ = false;
 };
 

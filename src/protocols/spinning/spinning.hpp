@@ -84,6 +84,7 @@ private:
     std::set<NodeId> blacklist_;
     std::deque<NodeId> blacklist_order_;
     std::uint64_t timeouts_ = 0;
+    obs::Counter* ctr_timeouts_ = nullptr;
 };
 
 }  // namespace rbft::protocols

@@ -8,6 +8,10 @@ Cluster::Cluster(ClusterConfig config, ServiceFactory service_factory)
         config_.use_udp ? net::ChannelParams::udp() : net::ChannelParams::tcp();
     network_ = std::make_unique<net::Network>(simulator_, config_.n(), Rng(config_.seed),
                                               channel, channel);
+    if (config_.recorder) {
+        simulator_.set_metrics(&config_.recorder->metrics());
+        network_->set_recorder(config_.recorder);
+    }
 
     for (std::uint32_t i = 0; i < config_.n(); ++i) {
         NodeConfig nc;
@@ -21,6 +25,7 @@ Cluster::Cluster(ClusterConfig config, ServiceFactory service_factory)
         nc.monitoring = config_.monitoring;
         nc.flood_defense = config_.flood_defense;
         nc.instances_override = config_.instances_override;
+        nc.recorder = config_.recorder;
         nodes_.push_back(std::make_unique<Node>(nc, simulator_, *network_, keys_,
                                                 config_.costs, service_factory()));
         Node* node = nodes_.back().get();

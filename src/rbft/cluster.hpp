@@ -34,6 +34,9 @@ struct ClusterConfig {
     crypto::CostModel costs{};
     /// 0 = f+1 instances (see NodeConfig::instances_override).
     std::uint32_t instances_override = 0;
+    /// Observability sink shared by the simulator, network and every node
+    /// (must outlive the cluster); null = observability disabled.
+    obs::Recorder* recorder = nullptr;
 
     [[nodiscard]] std::uint32_t n() const noexcept { return cluster_size(f); }
 };

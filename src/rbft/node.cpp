@@ -33,11 +33,33 @@ Node::Node(NodeConfig config, sim::Simulator& simulator, net::Network& network,
         ec.batch_delay = config_.batch_delay;
         ec.order_full_requests = config_.order_full_requests;
         ec.checkpoint_interval = config_.checkpoint_interval;
+        ec.recorder = config_.recorder;
         engines_.push_back(std::make_unique<bft::InstanceEngine>(
             ec, simulator_, replica_core(InstanceId{i}), keys_, costs_, *this));
     }
     ordered_counters_.resize(instances);
     monitor_series_.resize(instances);
+
+    recorder_ = config_.recorder;
+    if (recorder_) {
+        obs::MetricsRegistry& reg = recorder_->metrics();
+        const std::uint32_t node = raw(config_.id);
+        ctr_requests_received_ = reg.counter("rbft.requests_received", node);
+        ctr_requests_verified_ = reg.counter("rbft.requests_verified", node);
+        ctr_requests_invalid_ = reg.counter("rbft.requests_invalid", node);
+        ctr_requests_executed_ = reg.counter("rbft.requests_executed", node);
+        ctr_propagates_received_ = reg.counter("rbft.propagates_received", node);
+        ctr_ic_voted_ = reg.counter("rbft.instance_changes_voted", node);
+        ctr_ic_done_ = reg.counter("rbft.instance_changes_done", node);
+        ctr_nic_closures_ = reg.counter("rbft.nic_closures", node);
+        ctr_mac_ops_ = reg.counter("crypto.mac_ops", node);
+        ctr_sig_verifies_ = reg.counter("crypto.sig_verifies", node);
+        ctr_crypto_ns_ = reg.counter("crypto.charged_ns", node);
+        monitor_kreq_series_.reserve(instances);
+        for (std::uint32_t i = 0; i < instances; ++i) {
+            monitor_kreq_series_.push_back(reg.series("monitor.kreq_s", node, i));
+        }
+    }
 }
 
 void Node::start() {
@@ -122,6 +144,14 @@ void Node::on_message(net::Address from, const net::MessagePtr& m) {
 void Node::verification_receive(net::Address from,
                                 std::shared_ptr<const bft::RequestMsg> req) {
     if (blacklisted_clients_.contains(req->client)) return;
+    if (ctr_requests_received_) {
+        ctr_requests_received_->add();
+        if (recorder_->tracing()) {
+            recorder_->event({simulator_.now(), obs::EventType::kRequestReceived,
+                              raw(config_.id), obs::kNoInstance, raw(req->client),
+                              raw(req->rid), 0.0});
+        }
+    }
 
     // Retransmission of the last executed request: verify and resend the
     // cached reply (paper §IV-B step 1).
@@ -155,24 +185,40 @@ void Node::verification_receive(net::Address from,
     // MAC authenticator check: hash the body once, check our entry.
     const Duration mac_cost =
         costs_.recv_overhead + costs_.digest(req->payload.size()) + costs_.mac_op;
+    if (ctr_mac_ops_) {
+        ctr_mac_ops_->add();
+        ctr_crypto_ns_->add(static_cast<std::uint64_t>(mac_cost.ns));
+    }
     cpu_.core(kVerificationCore).submit(simulator_, mac_cost, [this, from, req] {
         RequestState& st = requests_[RequestKey{req->client, req->rid}];
         st.digest_computed = true;
         if ((req->corrupt_mac_mask >> raw(config_.id)) & 1) {
             ++stats_.requests_invalid_mac;
+            if (ctr_requests_invalid_) ctr_requests_invalid_->add();
             st.verifying = false;
             count_invalid(from);
             return;
         }
         // Signature check (body digest already computed above).
+        if (ctr_sig_verifies_) {
+            ctr_sig_verifies_->add();
+            ctr_crypto_ns_->add(static_cast<std::uint64_t>(costs_.sig_verify_op.ns));
+            if (recorder_->tracing()) {
+                recorder_->event({simulator_.now(), obs::EventType::kCryptoCharge,
+                                  raw(config_.id), obs::kNoInstance, 1, 0,
+                                  costs_.sig_verify_op.seconds()});
+            }
+        }
         cpu_.core(kVerificationCore)
             .submit(simulator_, costs_.sig_verify_op, [this, req] {
                 if (req->corrupt_sig) {
                     ++stats_.requests_invalid_sig;
+                    if (ctr_requests_invalid_) ctr_requests_invalid_->add();
                     blacklisted_clients_.insert(req->client);
                     return;
                 }
                 ++stats_.requests_verified;
+                if (ctr_requests_verified_) ctr_requests_verified_->add();
 
                 // Already executed?  Resend the cached reply (§IV-B step 1).
                 if (auto it = last_reply_.find(req->client);
@@ -223,6 +269,7 @@ void Node::propagation_self(const std::shared_ptr<const bft::RequestMsg>& req) {
 
 void Node::propagation_receive(NodeId from, std::shared_ptr<const PropagateMsg> msg) {
     ++stats_.propagates_received;
+    if (ctr_propagates_received_) ctr_propagates_received_->add();
     const Duration mac_cost = costs_.recv_overhead + costs_.mac_op;
     cpu_.core(kPropagationCore).submit(simulator_, mac_cost, [this, from, msg] {
         if ((msg->corrupt_mac_mask >> raw(config_.id)) & 1) {
@@ -285,6 +332,10 @@ void Node::dispatch(const RequestKey& key) {
     if (state.dispatched || !state.request) return;
     state.dispatched = true;
     state.dispatch_time = simulator_.now();
+    if (recorder_ && recorder_->tracing()) {
+        recorder_->event({simulator_.now(), obs::EventType::kRequestDispatched, raw(config_.id),
+                          obs::kNoInstance, raw(key.client), raw(key.rid), 0.0});
+    }
 
     bft::RequestRef ref;
     ref.client = state.request->client;
@@ -351,6 +402,14 @@ void Node::execute(const bft::RequestRef& ref) {
         if (executed_.contains(key)) return;
         executed_.insert(key);
         ++stats_.requests_executed;
+        if (ctr_requests_executed_) {
+            ctr_requests_executed_->add();
+            if (recorder_->tracing()) {
+                recorder_->event({simulator_.now(), obs::EventType::kRequestExecuted,
+                                  raw(config_.id), obs::kNoInstance, raw(key.client),
+                                  raw(key.rid), 0.0});
+            }
+        }
 
         bft::ReplyMsg reply;
         reply.client = req->client;
@@ -384,8 +443,9 @@ void Node::monitoring_tick() {
     for (std::size_t i = 0; i < engines_.size(); ++i) {
         counts[i] = ordered_counters_[i].take();
         total += counts[i];
-        monitor_series_[i].add(simulator_.now().seconds(),
-                               static_cast<double>(counts[i]) / period_s / 1000.0);  // kreq/s
+        const double kreq_s = static_cast<double>(counts[i]) / period_s / 1000.0;
+        monitor_series_[i].add(simulator_.now().seconds(), kreq_s);
+        if (recorder_) monitor_kreq_series_[i]->add(simulator_.now().seconds(), kreq_s);
     }
 
     if (grace_remaining_ > 0) {
@@ -405,16 +465,33 @@ void Node::monitoring_tick() {
     if (backup_mean <= 0.0) {
         // No backup progress: either system idle (handled above) or the
         // backups are under attack; nothing to compare against.
+        if (recorder_ && recorder_->tracing()) {
+            recorder_->event({simulator_.now(), obs::EventType::kMonitorVerdict,
+                              raw(config_.id), obs::kNoInstance, total,
+                              obs::kVerdictNotJudged, 0.0});
+        }
         suspicious_ = false;
         return;
     }
 
     const double ratio = master_tps / backup_mean;
-    if (ratio < config_.monitoring.delta) {
+    const bool below_delta = ratio < config_.monitoring.delta;
+    if (recorder_ && recorder_->tracing()) {
+        // Monitoring verdict: the observed master/backup throughput ratio
+        // judged against Δ — the heart of §IV-C, recorded every period.
+        const std::uint64_t verdict =
+            below_delta ? (bad_window_streak_ + 1 >= config_.monitoring.consecutive_bad_windows
+                               ? obs::kVerdictVoted
+                               : obs::kVerdictBelowDelta)
+                        : obs::kVerdictOk;
+        recorder_->event({simulator_.now(), obs::EventType::kMonitorVerdict, raw(config_.id),
+                          obs::kNoInstance, total, verdict, ratio});
+    }
+    if (below_delta) {
         ++bad_window_streak_;
         if (bad_window_streak_ >= config_.monitoring.consecutive_bad_windows) {
             suspicious_ = true;
-            vote_instance_change("throughput ratio below delta");
+            vote_instance_change(IcReason::kThroughput);
         }
     } else {
         bad_window_streak_ = 0;
@@ -425,7 +502,7 @@ void Node::monitoring_tick() {
 void Node::latency_check(InstanceId, const bft::RequestRef& ref, Duration latency) {
     const MonitoringConfig& mc = config_.monitoring;
     if (latency > mc.lambda) {
-        vote_instance_change("request latency above lambda");
+        vote_instance_change(IcReason::kLambda);
         return;
     }
     // Ω: master mean latency for this client vs the backup instances' mean.
@@ -443,17 +520,22 @@ void Node::latency_check(InstanceId, const bft::RequestRef& ref, Duration latenc
     if (backup_count == 0) return;
     const double backup_mean = backup_sum / static_cast<double>(backup_count);
     if (master_mean - backup_mean > mc.omega.seconds()) {
-        vote_instance_change("client latency gap above omega");
+        vote_instance_change(IcReason::kOmega);
     }
 }
 
 // ---------------------------------------------------------------------------
 // Instance change (§IV-D).
 
-void Node::vote_instance_change(const char* /*reason*/) {
+void Node::vote_instance_change(IcReason reason) {
     if (voted_current_cpi_ || !monitoring_enabled_) return;
     voted_current_cpi_ = true;
     ++stats_.instance_changes_voted;
+    if (ctr_ic_voted_) {
+        ctr_ic_voted_->add();
+        recorder_->event({simulator_.now(), obs::EventType::kInstanceChangeVote, raw(config_.id),
+                          obs::kNoInstance, cpi_, static_cast<std::uint64_t>(reason), 0.0});
+    }
 
     auto ic = std::make_shared<InstanceChangeMsg>();
     ic->cpi = cpi_;
@@ -479,7 +561,7 @@ void Node::handle_instance_change(NodeId from, const InstanceChangeMsg& m) {
 
     // A node that also observes degradation joins the vote.
     if (m.cpi == cpi_ && suspicious_ && !voted_current_cpi_) {
-        vote_instance_change("joining observed degradation");
+        vote_instance_change(IcReason::kJoin);
         return;  // vote_instance_change re-checks the quorum
     }
     if (ic_votes_[cpi_].size() >= commit_quorum(config_.f)) perform_instance_change();
@@ -487,6 +569,11 @@ void Node::handle_instance_change(NodeId from, const InstanceChangeMsg& m) {
 
 void Node::perform_instance_change() {
     ++stats_.instance_changes_done;
+    if (ctr_ic_done_) {
+        ctr_ic_done_->add();
+        recorder_->event({simulator_.now(), obs::EventType::kInstanceChangeDone, raw(config_.id),
+                          obs::kNoInstance, cpi_ + 1, 0, 0.0});
+    }
     last_instance_change_ = simulator_.now();
     ic_votes_.erase(ic_votes_.begin(), ic_votes_.upper_bound(cpi_));
     ++cpi_;
@@ -513,6 +600,11 @@ void Node::count_invalid(net::Address from) {
         network_.nic(config_.id, from)
             .close_for(simulator_.now(), config_.flood_defense.close_duration);
         ++stats_.nic_closures;
+        if (ctr_nic_closures_) {
+            ctr_nic_closures_->add();
+            recorder_->event({simulator_.now(), obs::EventType::kNicClosed, raw(config_.id),
+                              obs::kNoInstance, from.index, 0, 0.0});
+        }
     }
 }
 

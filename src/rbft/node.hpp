@@ -43,6 +43,7 @@
 #include "crypto/keystore.hpp"
 #include "net/flood.hpp"
 #include "net/network.hpp"
+#include "obs/recorder.hpp"
 #include "rbft/messages.hpp"
 #include "rbft/service.hpp"
 #include "sim/cpu.hpp"
@@ -95,6 +96,9 @@ struct NodeConfig {
 
     MonitoringConfig monitoring{};
     FloodDefenseConfig flood_defense{};
+
+    /// Observability sink (metrics + flight recorder); null = disabled.
+    obs::Recorder* recorder = nullptr;
 
     /// Number of protocol instances; 0 = the paper's f+1 (necessary and
     /// sufficient per the companion TR).  Overridable for the ablation
@@ -219,9 +223,11 @@ private:
     void send_reply(ClientId client, const bft::ReplyMsg& reply);
 
     // Monitoring.
+    /// Why a node voted INSTANCE_CHANGE (recorded in the trace).
+    enum class IcReason : std::uint64_t { kThroughput = 0, kLambda = 1, kOmega = 2, kJoin = 3 };
     void monitoring_tick();
     void latency_check(InstanceId instance, const bft::RequestRef& ref, Duration latency);
-    void vote_instance_change(const char* reason);
+    void vote_instance_change(IcReason reason);
     void handle_instance_change(NodeId from, const InstanceChangeMsg& m);
     void perform_instance_change();
     void reset_monitoring_state();
@@ -271,6 +277,21 @@ private:
     NodeStats stats_;
     bool faulty_ = false;
     bool monitoring_enabled_ = true;
+
+    // Observability handles (null when no recorder is attached).
+    obs::Recorder* recorder_ = nullptr;
+    obs::Counter* ctr_requests_received_ = nullptr;
+    obs::Counter* ctr_requests_verified_ = nullptr;
+    obs::Counter* ctr_requests_invalid_ = nullptr;
+    obs::Counter* ctr_requests_executed_ = nullptr;
+    obs::Counter* ctr_propagates_received_ = nullptr;
+    obs::Counter* ctr_ic_voted_ = nullptr;
+    obs::Counter* ctr_ic_done_ = nullptr;
+    obs::Counter* ctr_nic_closures_ = nullptr;
+    obs::Counter* ctr_mac_ops_ = nullptr;
+    obs::Counter* ctr_sig_verifies_ = nullptr;
+    obs::Counter* ctr_crypto_ns_ = nullptr;
+    std::vector<Series*> monitor_kreq_series_;  // registry series, per instance
 };
 
 }  // namespace rbft::core

@@ -6,6 +6,7 @@ namespace rbft::sim {
 
 EventId Simulator::schedule_at(TimePoint t, Action action) {
     const std::uint64_t id = next_id_++;
+    if (scheduled_counter_) scheduled_counter_->add();
     if (t < now_) t = now_;
     queue_.push(Event{t, next_seq_++, id, std::move(action)});
     return EventId{id};
@@ -29,6 +30,8 @@ std::uint64_t Simulator::run_until(TimePoint limit) {
         now_ = ev.at;
         ev.action();
         ++dispatched;
+        ++dispatched_total_;
+        if (dispatched_counter_) dispatched_counter_->add();
     }
     if (now_ < limit) now_ = limit;
     return dispatched;
@@ -46,6 +49,8 @@ std::uint64_t Simulator::run_all() {
         now_ = ev.at;
         ev.action();
         ++dispatched;
+        ++dispatched_total_;
+        if (dispatched_counter_) dispatched_counter_->add();
     }
     return dispatched;
 }

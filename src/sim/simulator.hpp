@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/time.hpp"
+#include "obs/metrics.hpp"
 
 namespace rbft::sim {
 
@@ -57,6 +58,16 @@ public:
     /// until they are lazily discarded).
     [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
 
+    /// Total events dispatched over the simulator's lifetime.
+    [[nodiscard]] std::uint64_t dispatched_total() const noexcept { return dispatched_total_; }
+
+    /// Attaches observability: per-dispatch event counting into `registry`
+    /// ("sim.events_dispatched", "sim.events_scheduled").  Null detaches.
+    void set_metrics(obs::MetricsRegistry* registry) {
+        scheduled_counter_ = registry ? registry->counter("sim.events_scheduled") : nullptr;
+        dispatched_counter_ = registry ? registry->counter("sim.events_dispatched") : nullptr;
+    }
+
 private:
     struct Event {
         TimePoint at;
@@ -72,6 +83,9 @@ private:
     };
 
     TimePoint now_{};
+    std::uint64_t dispatched_total_ = 0;
+    obs::Counter* scheduled_counter_ = nullptr;
+    obs::Counter* dispatched_counter_ = nullptr;
     std::uint64_t next_seq_ = 0;
     std::uint64_t next_id_ = 1;
     std::priority_queue<Event, std::vector<Event>, Later> queue_;

@@ -28,6 +28,7 @@
 #include "crypto/keystore.hpp"
 #include "crypto/sha256.hpp"
 #include "net/network.hpp"
+#include "obs/recorder.hpp"
 #include "sim/simulator.hpp"
 
 namespace rbft::workload {
@@ -97,6 +98,7 @@ public:
 
         send_times_[rid] = simulator_.now();
         ++sent_;
+        if (ctr_sent_) ctr_sent_->add();
         send_request(req);
         return rid;
     }
@@ -132,6 +134,19 @@ public:
     }
 
     ClientBehavior& behavior() noexcept { return behavior_; }
+
+    /// Attaches observability.  All clients of a run share the aggregated
+    /// "client.sent"/"client.completed" counters, the "client.completions"
+    /// series ((completion time [s], latency [ms]), merged across clients)
+    /// and the "client.latency_s" histogram; null detaches.
+    void set_recorder(obs::Recorder* recorder) {
+        recorder_ = recorder;
+        obs::MetricsRegistry* reg = recorder ? &recorder->metrics() : nullptr;
+        ctr_sent_ = reg ? reg->counter("client.sent") : nullptr;
+        ctr_completed_ = reg ? reg->counter("client.completed") : nullptr;
+        completions_out_ = reg ? reg->series("client.completions") : nullptr;
+        latencies_out_ = reg ? reg->histogram("client.latency_s") : nullptr;
+    }
 
     /// Invoked on each completion with (rid, latency); drives closed-loop
     /// clients.
@@ -178,6 +193,11 @@ private:
             const Duration latency = simulator_.now() - sent_it->second;
             latencies_.add(latency.seconds());
             completions_.add(simulator_.now().seconds(), latency.millis());
+            if (ctr_completed_) {
+                ctr_completed_->add();
+                completions_out_->add(simulator_.now().seconds(), latency.millis());
+                latencies_out_->add(latency.seconds());
+            }
             send_times_.erase(sent_it);
             reply_votes_.erase(reply.rid);
             if (on_complete_) on_complete_(reply.rid, latency);
@@ -200,6 +220,13 @@ private:
     std::unordered_map<RequestId, std::set<std::uint32_t>> reply_votes_;
     LatencyHistogram latencies_;
     Series completions_;
+
+    // Observability handles (null when no recorder is attached).
+    obs::Recorder* recorder_ = nullptr;
+    obs::Counter* ctr_sent_ = nullptr;
+    obs::Counter* ctr_completed_ = nullptr;
+    Series* completions_out_ = nullptr;
+    LatencyHistogram* latencies_out_ = nullptr;
 };
 
 }  // namespace rbft::workload

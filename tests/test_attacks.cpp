@@ -100,10 +100,12 @@ TEST(UnfairPrimary, LatencyBoundEventuallyTriggersInstanceChange) {
     attack.install();
     cluster.start();
 
+    workload::ClientBehavior big;
+    big.payload_bytes = 4096;
     workload::ClientEndpoint victim(ClientId{0}, cluster.simulator(), cluster.network(),
-                                    cluster.keys(), 4, 1, {4096});
+                                    cluster.keys(), 4, 1, big);
     workload::ClientEndpoint other(ClientId{1}, cluster.simulator(), cluster.network(),
-                                   cluster.keys(), 4, 1, {4096});
+                                   cluster.keys(), 4, 1, big);
     workload::LoadGenerator load(
         cluster.simulator(),
         std::vector<workload::ClientEndpoint*>{&victim, &other},

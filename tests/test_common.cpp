@@ -6,6 +6,7 @@
 
 #include "common/bytes.hpp"
 #include "common/histogram.hpp"
+#include "common/logging.hpp"
 #include "common/rng.hpp"
 #include "common/time.hpp"
 #include "common/timeseries.hpp"
@@ -288,6 +289,33 @@ TEST(Series, EmptyIsZero) {
     EXPECT_TRUE(s.empty());
     EXPECT_EQ(s.mean_y(), 0.0);
     EXPECT_EQ(s.max_y(), 0.0);
+}
+
+TEST(Logging, OffIsNeverEnabled) {
+    Logger& logger = Logger::instance();
+    logger.set_level(LogLevel::kOff);
+    EXPECT_FALSE(logger.enabled(LogLevel::kError));
+    EXPECT_FALSE(logger.enabled(LogLevel::kOff));  // kOff is a threshold, not a level
+    logger.set_level(LogLevel::kInfo);
+    EXPECT_FALSE(logger.enabled(LogLevel::kDebug));
+    EXPECT_TRUE(logger.enabled(LogLevel::kWarn));
+    EXPECT_FALSE(logger.enabled(LogLevel::kOff));  // logging *at* kOff stays discarded
+    logger.set_level(LogLevel::kOff);
+}
+
+TEST(Logging, SinkCapturesOutput) {
+    Logger& logger = Logger::instance();
+    logger.set_level(LogLevel::kInfo);
+    std::vector<std::string> captured;
+    logger.set_sink([&](LogLevel, std::string_view component, std::string_view message) {
+        captured.push_back(std::string(component) + ": " + std::string(message));
+    });
+    log_info("net", "hello");
+    log_debug("net", "filtered");  // below threshold: not delivered
+    logger.set_sink(nullptr);
+    logger.set_level(LogLevel::kOff);
+    ASSERT_EQ(captured.size(), 1u);
+    EXPECT_EQ(captured[0], "net: hello");
 }
 
 }  // namespace
