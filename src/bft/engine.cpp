@@ -16,7 +16,11 @@ InstanceEngine::InstanceEngine(EngineConfig config, sim::Simulator& simulator, s
       keys_(keys),
       costs_(costs),
       host_(host),
+      recovering_(config.recovering),
       recorder_(config.recorder) {
+    if (config_.retry_interval.ns > 0) {
+        retry_timer_.start(simulator_, config_.retry_interval, [this] { retry_stalled(); });
+    }
     if (recorder_) {
         obs::MetricsRegistry& reg = recorder_->metrics();
         const std::uint32_t node = raw(config_.node);
@@ -50,7 +54,14 @@ Duration InstanceEngine::oldest_waiting_age() const {
     return Duration{};
 }
 
+void InstanceEngine::retire() {
+    silent_replica_ = true;
+    batch_timer_.disarm(simulator_);
+    retry_timer_.stop(simulator_);
+}
+
 void InstanceEngine::broadcast(const net::MessagePtr& m, Duration per_dest_cost) {
+    if (silent_replica_) return;  // retired/silenced replicas never transmit
     for (std::uint32_t i = 0; i < config_.n; ++i) {
         const NodeId dest{i};
         if (dest == config_.node) continue;
@@ -267,7 +278,11 @@ void InstanceEngine::on_message(NodeId from, const net::MessagePtr& m) {
 void InstanceEngine::handle_pre_prepare(NodeId from, const PrePrepareMsg& m) {
     if (m.instance != config_.instance) return;
     last_pp_seen_ = simulator_.now();
-    if (from != primary_of(m.view)) return;
+    // In repair mode (stall retry enabled) peers relay stored PRE-PREPAREs
+    // to lagging replicas.  The relayed message still carries the primary's
+    // authenticator (signature semantics), and the keep-first rule below
+    // still rejects equivocation, so accepting relays is sound.
+    if (from != primary_of(m.view) && config_.retry_interval.ns <= 0) return;
     if (raw(m.view) > raw(view_)) {
         // Ahead of us (rotating-primary hand-off or a view we have not
         // installed yet): buffer and retry after we catch up.
@@ -384,6 +399,7 @@ void InstanceEngine::try_commit(SeqNum seq) {
 }
 
 void InstanceEngine::try_deliver() {
+    if (silent_replica_) return;  // a retired replica must not hand batches up
     while (true) {
         auto it = slots_.find(raw(next_deliver_));
         if (it == slots_.end()) break;
@@ -460,6 +476,9 @@ void InstanceEngine::maybe_checkpoint() {
     w.u64(executed);
     cp->state_digest = crypto::sha256(BytesView(w.buffer().data(), w.buffer().size()));
     cp->replica = config_.node;
+    cp->view = view_;
+    cp->cpi = host_.host_cpi();
+    cp->executed = executed;
     cp->auth = crypto::make_authenticator(
         keys_, crypto::Principal::node(config_.node), config_.n,
         BytesView(cp->state_digest.bytes.data(), cp->state_digest.bytes.size()));
@@ -470,11 +489,66 @@ void InstanceEngine::maybe_checkpoint() {
     advance_stable(SeqNum{executed});
 }
 
+void InstanceEngine::rebroadcast_checkpoint() {
+    // Re-offer our latest stable checkpoint.  The original broadcasts
+    // predate a recovering replica's restart, and a stalled cluster takes no
+    // new checkpoints — without this periodic re-offer a crashed-and-
+    // recovered replica has no state-transfer source and stays wedged.
+    auto cp = std::make_shared<CheckpointMsg>();
+    cp->instance = config_.instance;
+    cp->seq = last_stable_;
+    net::WireWriter w;
+    w.u32(raw(config_.instance));
+    w.u64(raw(last_stable_));
+    cp->state_digest = crypto::sha256(BytesView(w.buffer().data(), w.buffer().size()));
+    cp->replica = config_.node;
+    cp->view = view_;
+    cp->cpi = host_.host_cpi();
+    cp->executed = raw(next_deliver_) - 1;
+    cp->auth = crypto::make_authenticator(
+        keys_, crypto::Principal::node(config_.node), config_.n,
+        BytesView(cp->state_digest.bytes.data(), cp->state_digest.bytes.size()));
+    core_.charge(simulator_, costs_.digest(cp->wire_size()) +
+                                 costs_.authenticator_ops(config_.n));
+    broadcast(cp, Duration{});
+}
+
 void InstanceEngine::handle_checkpoint(NodeId from, const CheckpointMsg& m) {
     if (m.instance != config_.instance) return;
+    // Record the sender's view (monotonic per sender) before any early
+    // return: a recovering replica learns the quorum's view from
+    // checkpoints whose seq it already passed.
+    auto [pv, inserted] = peer_views_.try_emplace(raw(from), raw(m.view));
+    if (!inserted && raw(m.view) > pv->second) pv->second = raw(m.view);
+    if (recovering_) {
+        maybe_adopt_peer_view();
+        // Resume proposing after the quorum's history: an amnesiac primary
+        // re-using sequence numbers peers already delivered would be
+        // rejected forever.  Peers report their delivered high-water mark on
+        // every checkpoint; faults here are benign crashes, so any report is
+        // trustworthy (a lying peer is outside this fault model).
+        if (m.executed >= raw(next_seq_)) next_seq_ = SeqNum{m.executed + 1};
+    }
+    repair_peer(m.executed);
     if (raw(m.seq) <= raw(last_stable_)) return;
     checkpoint_votes_[raw(m.seq)].insert(from);
     advance_stable(m.seq);
+}
+
+void InstanceEngine::maybe_adopt_peer_view() {
+    if (!recovering_ || in_view_change_) return;
+    // Adopt the highest view that f+1 peers report having reached: at least
+    // one correct replica is there, and the quorum has moved on without us.
+    std::uint64_t best = raw(view_);
+    for (const auto& [peer, pview] : peer_views_) {
+        if (pview <= best) continue;
+        std::size_t count = 0;
+        for (const auto& [p2, v2] : peer_views_) {
+            if (v2 >= pview) ++count;
+        }
+        if (count >= propagate_quorum(config_.f)) best = pview;
+    }
+    if (best > raw(view_)) install_view(ViewId{best}, {});
 }
 
 void InstanceEngine::advance_stable(SeqNum seq) {
@@ -491,9 +565,99 @@ void InstanceEngine::advance_stable(SeqNum seq) {
         // adopt the checkpoint and resume delivery after it.
         next_deliver_ = SeqNum{raw(seq) + 1};
         if (raw(next_seq_) < raw(next_deliver_)) next_seq_ = next_deliver_;
+        recovering_ = false;  // rejoined: quorum state adopted
         try_deliver();
     }
     maybe_send_batch();
+}
+
+// ---------------------------------------------------------------------------
+// Stall retry.
+
+void InstanceEngine::broadcast_phase_copy(const Slot& s, SeqNum seq, PhaseMsg::Phase phase) {
+    auto ph = std::make_shared<PhaseMsg>();
+    ph->phase = phase;
+    ph->instance = config_.instance;
+    ph->view = s.pre_prepare->view;
+    ph->seq = seq;
+    ph->batch_digest = s.pre_prepare->batch_digest;
+    ph->replica = config_.node;
+    ph->auth = crypto::make_authenticator(
+        keys_, crypto::Principal::node(config_.node), config_.n,
+        BytesView(ph->batch_digest.bytes.data(), ph->batch_digest.bytes.size()));
+    core_.charge(simulator_,
+                 costs_.digest(ph->wire_size()) + costs_.authenticator_ops(config_.n));
+    broadcast(ph, Duration{});
+}
+
+void InstanceEngine::retry_stalled() {
+    if (silent_replica_ || behavior_.silent || in_view_change_) return;
+
+    if (raw(last_stable_) > 0) rebroadcast_checkpoint();
+
+    auto it = slots_.find(raw(next_deliver_));
+    if (it == slots_.end() || !it->second.pre_prepare.has_value()) {
+        // Nothing proposed for the next slot.  If we are the primary with
+        // requests waiting longer than a retry period, the earlier proposal
+        // attempt (or its quorum) was swallowed by a fault: re-offer.
+        if (is_primary() && !pending_.empty() &&
+            oldest_waiting_age().ns > config_.retry_interval.ns) {
+            maybe_send_batch();
+        }
+        return;
+    }
+
+    // Re-broadcast our contributions to every stalled undelivered slot (not
+    // just the next one: a healed fault can leave quorum holes anywhere in
+    // the pipeline).  Receivers dedupe, so this only fills holes a crash,
+    // partition or lossy link punched into the quorums.
+    constexpr std::uint32_t kRetrySlots = 32;
+    std::uint32_t scanned = 0;
+    bool counted = false;
+    for (auto sit = slots_.lower_bound(raw(next_deliver_));
+         sit != slots_.end() && scanned < kRetrySlots; ++sit, ++scanned) {
+        Slot& s = sit->second;
+        if (s.delivered || !s.pre_prepare.has_value()) continue;
+        if (raw(s.pre_prepare->view) != raw(view_)) continue;
+        if ((simulator_.now() - s.pp_at).ns <= config_.retry_interval.ns) continue;
+        if (!counted) {
+            ++stall_retries_;
+            counted = true;
+        }
+        if (primary_of(view_) == config_.node) {
+            auto pp = std::make_shared<PrePrepareMsg>(*s.pre_prepare);
+            core_.charge(simulator_, costs_.authenticator_ops(config_.n));
+            broadcast(pp, Duration{});
+        }
+        if (s.sent_prepare) broadcast_phase_copy(s, SeqNum{sit->first}, PhaseMsg::Phase::kPrepare);
+        if (s.sent_commit) broadcast_phase_copy(s, SeqNum{sit->first}, PhaseMsg::Phase::kCommit);
+    }
+}
+
+void InstanceEngine::repair_peer(std::uint64_t peer_executed) {
+    // A peer's checkpoint reported it delivered less than we have: re-offer
+    // the PRE-PREPAREs and our phase votes for the slots it is missing, so a
+    // replica that lost messages to a crash or partition can finish them.
+    // Slots at or below our stable checkpoint are pruned — the peer reaches
+    // those via checkpoint state transfer instead.
+    if (config_.retry_interval.ns <= 0) return;
+    if (peer_executed + 1 >= raw(next_deliver_)) return;
+    if ((simulator_.now() - last_repair_at_).ns < config_.retry_interval.ns) return;
+    last_repair_at_ = simulator_.now();
+
+    constexpr std::uint64_t kRepairSlots = 32;
+    const std::uint64_t lo = std::max(peer_executed, raw(last_stable_)) + 1;
+    const std::uint64_t hi = std::min(lo + kRepairSlots - 1, raw(next_deliver_) - 1);
+    for (std::uint64_t seq = lo; seq <= hi; ++seq) {
+        auto it = slots_.find(seq);
+        if (it == slots_.end() || !it->second.pre_prepare.has_value()) continue;
+        const Slot& s = it->second;
+        auto pp = std::make_shared<PrePrepareMsg>(*s.pre_prepare);
+        core_.charge(simulator_, costs_.authenticator_ops(config_.n));
+        broadcast(pp, Duration{});
+        if (s.sent_prepare) broadcast_phase_copy(s, SeqNum{seq}, PhaseMsg::Phase::kPrepare);
+        if (s.sent_commit) broadcast_phase_copy(s, SeqNum{seq}, PhaseMsg::Phase::kCommit);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -628,6 +792,7 @@ void InstanceEngine::handle_new_view(NodeId from, const NewViewMsg& m) {
 void InstanceEngine::install_view(ViewId v, const std::vector<PreparedProof>& reproposals) {
     view_ = v;
     in_view_change_ = false;
+    recovering_ = false;  // any installed view means we are synced again
     ++view_changes_done_;
     if (ctr_view_changes_) {
         ctr_view_changes_->add();

@@ -69,6 +69,16 @@ struct EngineConfig {
     std::uint64_t checkpoint_interval = 128;
     /// Max in-flight distance beyond the last stable checkpoint.
     std::uint64_t watermark_window = 2048;
+
+    /// The replica starts in recovery mode (rebuilt after a crash): it
+    /// adopts the view f+1 peers report via checkpoint piggybacks instead of
+    /// waiting for an instance change it may never see.
+    bool recovering = false;
+    /// Periodic stall retry: if the next-to-deliver slot has made no
+    /// progress for this long, re-broadcast our protocol messages for it
+    /// (receivers dedupe).  Recovers quorums interrupted by partitions or
+    /// message loss.  Zero disables (seed behavior).
+    Duration retry_interval{};
 };
 
 /// Byzantine-primary levers used by the attack experiments.  A correct
@@ -110,6 +120,11 @@ public:
 
     /// A view change completed locally; `view`'s primary is now active.
     virtual void engine_view_installed(InstanceId instance, ViewId view) = 0;
+
+    /// The node's protocol-instance-change counter, piggybacked on
+    /// CHECKPOINTs so recovering replicas can rejoin the current round.
+    /// Hosts without the RBFT instance-change mechanism report 0.
+    [[nodiscard]] virtual std::uint64_t host_cpi() const { return 0; }
 };
 
 class InstanceEngine {
@@ -133,6 +148,11 @@ public:
     /// Marks this replica Byzantine-silent: it ignores all traffic and
     /// sends nothing (worst-attack abstention).
     void set_silent(bool silent) noexcept { silent_replica_ = silent; }
+
+    /// Permanently silences the replica and stops its timers.  Called when
+    /// the hosting node crashes: the object must outlive any simulator
+    /// callbacks that captured it, but must never act again.
+    void retire();
 
     void set_primary_behavior(PrimaryBehavior behavior) { behavior_ = std::move(behavior); }
 
@@ -172,6 +192,8 @@ public:
     [[nodiscard]] std::uint64_t preprepares_sent() const noexcept { return preprepares_sent_; }
     [[nodiscard]] std::uint64_t view_changes_completed() const noexcept { return view_changes_done_; }
     [[nodiscard]] std::uint64_t flood_discards() const noexcept { return flood_discards_; }
+    [[nodiscard]] std::uint64_t stall_retries() const noexcept { return stall_retries_; }
+    [[nodiscard]] bool recovering() const noexcept { return recovering_; }
     [[nodiscard]] SeqNum last_stable() const noexcept { return last_stable_; }
     [[nodiscard]] SeqNum next_to_deliver() const noexcept { return next_deliver_; }
     [[nodiscard]] std::size_t pending_requests() const noexcept { return pending_.size(); }
@@ -213,12 +235,19 @@ private:
     void accept_pre_prepare(const PrePrepareMsg& m);
     void recheck_buffered_preprepares();
     void maybe_checkpoint();
+    void rebroadcast_checkpoint();
     void advance_stable(SeqNum seq);
 
     // View change internals.
     void broadcast_view_change();
     void maybe_send_new_view();
     void install_view(ViewId v, const std::vector<PreparedProof>& reproposals);
+
+    // Recovery and stall handling.
+    void maybe_adopt_peer_view();
+    void retry_stalled();
+    void repair_peer(std::uint64_t peer_executed);
+    void broadcast_phase_copy(const Slot& s, SeqNum seq, PhaseMsg::Phase phase);
 
     [[nodiscard]] Digest batch_digest(const std::vector<RequestRef>& batch) const;
     [[nodiscard]] std::uint64_t batch_ref_bytes(std::size_t count) const noexcept {
@@ -266,8 +295,13 @@ private:
     std::map<std::pair<std::uint64_t, std::uint32_t>, ViewChangeMsg> vc_messages_;
     bool sent_new_view_ = false;
 
+    // Views peers last reported via checkpoint piggybacks (recovery input).
+    std::unordered_map<std::uint32_t, std::uint64_t> peer_views_;
+    bool recovering_ = false;
+
     std::function<bool(NodeId)> primary_filter_;
     sim::OneShotTimer batch_timer_;
+    sim::PeriodicTimer retry_timer_;
     bool pp_send_scheduled_ = false;
     TimePoint next_pp_allowed_{};
     TimePoint last_pp_seen_{};
@@ -288,6 +322,8 @@ private:
     std::uint64_t preprepares_sent_ = 0;
     std::uint64_t view_changes_done_ = 0;
     std::uint64_t flood_discards_ = 0;
+    std::uint64_t stall_retries_ = 0;
+    TimePoint last_repair_at_{};
 };
 
 }  // namespace rbft::bft

@@ -182,6 +182,9 @@ void CheckpointMsg::encode(net::WireWriter& w) const {
     w.u64(raw(seq));
     w.digest(state_digest);
     w.u32(raw(replica));
+    w.u64(raw(view));
+    w.u64(cpi);
+    w.u64(executed);
     encode_auth(w, auth);
 }
 
@@ -191,6 +194,9 @@ CheckpointMsg CheckpointMsg::decode(net::WireReader& r) {
     m.seq = SeqNum{r.u64()};
     m.state_digest = r.digest();
     m.replica = NodeId{r.u32()};
+    m.view = ViewId{r.u64()};
+    m.cpi = r.u64();
+    m.executed = r.u64();
     m.auth = decode_auth(r);
     return m;
 }

@@ -170,12 +170,23 @@ public:
     SeqNum seq{};
     Digest state_digest{};
     NodeId replica{};
+    // Piggybacked sender status: the sender's current view in this instance
+    // and its node-level protocol-instance-change counter.  A replica that
+    // recovers from a crash uses f+1 matching reports to rejoin the view and
+    // cpi the correct quorum has moved on to (paper §IV-C: recovery rides on
+    // the checkpoint mechanism).
+    ViewId view{};
+    std::uint64_t cpi = 0;
+    /// Highest sequence number the sender has delivered in this instance.
+    /// A recovering primary resumes proposing *after* the quorum's history
+    /// instead of re-using sequence numbers it no longer remembers issuing.
+    std::uint64_t executed = 0;
     crypto::MacAuthenticator auth{};
 
     [[nodiscard]] net::MsgType type() const noexcept override { return net::MsgType::kCheckpoint; }
     [[nodiscard]] std::string_view name() const noexcept override { return "CHECKPOINT"; }
     [[nodiscard]] std::size_t wire_size() const noexcept override {
-        return net::kFrameHeaderBytes + 4 + 8 + 32 + 4 +
+        return net::kFrameHeaderBytes + 4 + 8 + 32 + 4 + 8 + 8 + 8 +
                net::authenticator_bytes(static_cast<std::uint32_t>(auth.macs.size()));
     }
 

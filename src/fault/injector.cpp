@@ -1,0 +1,60 @@
+#include "fault/injector.hpp"
+
+namespace rbft::fault {
+
+void FaultInjector::arm() {
+    if (armed_) return;
+    armed_ = true;
+    auto& sim = cluster_.simulator();
+    for (const FaultEvent& e : plan_.events()) {
+        sim.schedule_at(e.at, [this, &e] { apply(e); });
+    }
+}
+
+void FaultInjector::apply(const FaultEvent& e) {
+    auto& net = cluster_.network();
+    switch (e.kind) {
+        case FaultEvent::Kind::kCrash:
+            // Node::crash() emits kNodeCrashed itself.
+            cluster_.crash_node(e.node);
+            break;
+        case FaultEvent::Kind::kRecover:
+            cluster_.restart_node(e.node);
+            break;
+        case FaultEvent::Kind::kPartition:
+            net.set_partition(e.groups);
+            trace(obs::EventType::kPartitionStarted, e.groups.size(), 0, 0.0);
+            break;
+        case FaultEvent::Kind::kHeal:
+            net.clear_partition();
+            trace(obs::EventType::kPartitionHealed, 0, 0, 0.0);
+            break;
+        case FaultEvent::Kind::kDegradeLink:
+            net.set_link_fault(net::Address::node(e.link_a), net::Address::node(e.link_b), e.link);
+            net.set_link_fault(net::Address::node(e.link_b), net::Address::node(e.link_a), e.link);
+            trace(obs::EventType::kLinkDegraded, raw(e.link_a), raw(e.link_b), e.link.loss_prob);
+            break;
+        case FaultEvent::Kind::kRestoreLink:
+            net.clear_link_fault(net::Address::node(e.link_a), net::Address::node(e.link_b));
+            net.clear_link_fault(net::Address::node(e.link_b), net::Address::node(e.link_a));
+            trace(obs::EventType::kLinkRestored, raw(e.link_a), raw(e.link_b), 0.0);
+            break;
+        case FaultEvent::Kind::kDegradeNic:
+            net.set_node_bandwidth_scale(e.node, e.bandwidth_scale);
+            trace(obs::EventType::kNicDegraded, raw(e.node), 0, e.bandwidth_scale);
+            break;
+        case FaultEvent::Kind::kRestoreNic:
+            net.set_node_bandwidth_scale(e.node, 1.0);
+            trace(obs::EventType::kNicRestored, raw(e.node), 0, 1.0);
+            break;
+    }
+    ++applied_;
+}
+
+void FaultInjector::trace(obs::EventType type, std::uint64_t a, std::uint64_t b, double x) {
+    if (!recorder_ || !recorder_->tracing()) return;
+    recorder_->event(
+        {cluster_.simulator().now(), type, obs::kNoNode, obs::kNoInstance, a, b, x});
+}
+
+}  // namespace rbft::fault

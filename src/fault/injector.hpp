@@ -1,0 +1,47 @@
+// FaultInjector: executes a FaultPlan against a live cluster by scheduling
+// each event on the cluster's simulator.  Crash/recover drive the real
+// Node::crash()/restart() lifecycle (volatile state lost, rejoin via
+// checkpoint state transfer); partition/heal and link/NIC degradation drive
+// the dynamic per-link hooks in net::Network.  Every applied fault is
+// emitted through the obs::Recorder so tools/trace_inspect can reconstruct
+// the fault/recovery timeline next to protocol events.
+#pragma once
+
+#include <cstdint>
+
+#include "fault/plan.hpp"
+#include "obs/recorder.hpp"
+#include "rbft/cluster.hpp"
+
+namespace rbft::fault {
+
+class FaultInjector {
+public:
+    /// The injector holds references; cluster (and recorder, if given) must
+    /// outlive it.  A null recorder disables fault lifecycle tracing.
+    FaultInjector(core::Cluster& cluster, FaultPlan plan, obs::Recorder* recorder = nullptr)
+        : cluster_(cluster), plan_(std::move(plan)), recorder_(recorder) {}
+
+    FaultInjector(const FaultInjector&) = delete;
+    FaultInjector& operator=(const FaultInjector&) = delete;
+
+    /// Schedules every plan event on the cluster's simulator.  Call once,
+    /// before running the simulator past the first event time.
+    void arm();
+
+    [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+    /// Number of plan events executed so far.
+    [[nodiscard]] std::uint64_t applied() const noexcept { return applied_; }
+
+private:
+    void apply(const FaultEvent& e);
+    void trace(obs::EventType type, std::uint64_t a, std::uint64_t b, double x);
+
+    core::Cluster& cluster_;
+    FaultPlan plan_;
+    obs::Recorder* recorder_;
+    std::uint64_t applied_ = 0;
+    bool armed_ = false;
+};
+
+}  // namespace rbft::fault

@@ -1,0 +1,326 @@
+// Deterministic fault schedules: a FaultPlan is a time-ordered list of
+// seeded fault events — node crash/recover, fabric partition/heal, per-link
+// degradation (loss, delay, duplication, reordering) and NIC bandwidth
+// degradation — executed against a running cluster by fault::FaultInjector.
+//
+// Plans are plain data: build one explicitly with the fluent builder, or
+// generate a randomized-but-seeded chaos schedule with random_soak().
+// Generated schedules are bounded by f (never more than f nodes crashed at
+// once, partitions always leave a 2f+1 majority group) and end with a quiet
+// tail so liveness after the last fault clears is measurable.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "common/types.hpp"
+#include "net/network.hpp"
+
+namespace rbft::fault {
+
+struct FaultEvent {
+    enum class Kind : std::uint8_t {
+        kCrash,        // node
+        kRecover,      // node
+        kPartition,    // groups
+        kHeal,         // —
+        kDegradeLink,  // link_a/link_b + link (applied in both directions)
+        kRestoreLink,  // link_a/link_b
+        kDegradeNic,   // node + bandwidth_scale
+        kRestoreNic,   // node
+    };
+
+    TimePoint at{};
+    Kind kind{};
+    NodeId node{};
+    NodeId link_a{};
+    NodeId link_b{};
+    double bandwidth_scale = 1.0;
+    net::LinkFault link{};
+    std::vector<std::vector<NodeId>> groups;
+};
+
+[[nodiscard]] constexpr const char* fault_kind_name(FaultEvent::Kind k) noexcept {
+    switch (k) {
+        case FaultEvent::Kind::kCrash: return "crash";
+        case FaultEvent::Kind::kRecover: return "recover";
+        case FaultEvent::Kind::kPartition: return "partition";
+        case FaultEvent::Kind::kHeal: return "heal";
+        case FaultEvent::Kind::kDegradeLink: return "degrade_link";
+        case FaultEvent::Kind::kRestoreLink: return "restore_link";
+        case FaultEvent::Kind::kDegradeNic: return "degrade_nic";
+        case FaultEvent::Kind::kRestoreNic: return "restore_nic";
+    }
+    return "?";
+}
+
+class FaultPlan {
+public:
+    FaultPlan& crash(TimePoint at, NodeId node) {
+        FaultEvent e;
+        e.at = at;
+        e.kind = FaultEvent::Kind::kCrash;
+        e.node = node;
+        return add(std::move(e));
+    }
+
+    FaultPlan& recover(TimePoint at, NodeId node) {
+        FaultEvent e;
+        e.at = at;
+        e.kind = FaultEvent::Kind::kRecover;
+        e.node = node;
+        return add(std::move(e));
+    }
+
+    FaultPlan& partition(TimePoint at, std::vector<std::vector<NodeId>> groups) {
+        FaultEvent e;
+        e.at = at;
+        e.kind = FaultEvent::Kind::kPartition;
+        e.groups = std::move(groups);
+        return add(std::move(e));
+    }
+
+    FaultPlan& heal(TimePoint at) {
+        FaultEvent e;
+        e.at = at;
+        e.kind = FaultEvent::Kind::kHeal;
+        return add(std::move(e));
+    }
+
+    /// Installs `f` on both directions of the (a, b) link.
+    FaultPlan& degrade_link(TimePoint at, NodeId a, NodeId b, net::LinkFault f) {
+        FaultEvent e;
+        e.at = at;
+        e.kind = FaultEvent::Kind::kDegradeLink;
+        e.link_a = a;
+        e.link_b = b;
+        e.link = f;
+        return add(std::move(e));
+    }
+
+    FaultPlan& restore_link(TimePoint at, NodeId a, NodeId b) {
+        FaultEvent e;
+        e.at = at;
+        e.kind = FaultEvent::Kind::kRestoreLink;
+        e.link_a = a;
+        e.link_b = b;
+        return add(std::move(e));
+    }
+
+    FaultPlan& degrade_nic(TimePoint at, NodeId node, double bandwidth_scale) {
+        FaultEvent e;
+        e.at = at;
+        e.kind = FaultEvent::Kind::kDegradeNic;
+        e.node = node;
+        e.bandwidth_scale = bandwidth_scale;
+        return add(std::move(e));
+    }
+
+    FaultPlan& restore_nic(TimePoint at, NodeId node) {
+        FaultEvent e;
+        e.at = at;
+        e.kind = FaultEvent::Kind::kRestoreNic;
+        e.node = node;
+        return add(std::move(e));
+    }
+
+    /// Events in schedule order (stable for equal times: insertion order).
+    [[nodiscard]] const std::vector<FaultEvent>& events() const noexcept { return events_; }
+    [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+
+    /// Time of the last event that *clears* a fault (recover / heal /
+    /// restore).  Liveness is judged from here.
+    [[nodiscard]] TimePoint last_clear_time() const noexcept {
+        TimePoint t{};
+        for (const FaultEvent& e : events_) {
+            switch (e.kind) {
+                case FaultEvent::Kind::kRecover:
+                case FaultEvent::Kind::kHeal:
+                case FaultEvent::Kind::kRestoreLink:
+                case FaultEvent::Kind::kRestoreNic:
+                    if (e.at > t) t = e.at;
+                    break;
+                default:
+                    break;
+            }
+        }
+        return t;
+    }
+
+    /// True when every injected fault is eventually cleared: each crash has
+    /// a later recover, each partition a later heal, each degrade a later
+    /// restore.  Soak plans must be fully healed or the liveness invariant
+    /// is unmeasurable.
+    [[nodiscard]] bool fully_healed() const noexcept {
+        std::vector<std::uint32_t> crashed;
+        std::vector<std::pair<std::uint32_t, std::uint32_t>> links;
+        std::vector<std::uint32_t> nics;
+        bool partitioned = false;
+        for (const FaultEvent& e : events_) {
+            switch (e.kind) {
+                case FaultEvent::Kind::kCrash: crashed.push_back(raw(e.node)); break;
+                case FaultEvent::Kind::kRecover:
+                    std::erase(crashed, raw(e.node));
+                    break;
+                case FaultEvent::Kind::kPartition: partitioned = true; break;
+                case FaultEvent::Kind::kHeal: partitioned = false; break;
+                case FaultEvent::Kind::kDegradeLink:
+                    links.emplace_back(raw(e.link_a), raw(e.link_b));
+                    break;
+                case FaultEvent::Kind::kRestoreLink:
+                    std::erase(links, std::pair{raw(e.link_a), raw(e.link_b)});
+                    break;
+                case FaultEvent::Kind::kDegradeNic: nics.push_back(raw(e.node)); break;
+                case FaultEvent::Kind::kRestoreNic:
+                    std::erase(nics, raw(e.node));
+                    break;
+            }
+        }
+        return crashed.empty() && links.empty() && nics.empty() && !partitioned;
+    }
+
+    /// Maximum number of nodes crashed at any one time.
+    [[nodiscard]] std::uint32_t max_concurrent_crashes() const noexcept {
+        std::uint32_t live = 0, peak = 0;
+        for (const FaultEvent& e : events_) {
+            if (e.kind == FaultEvent::Kind::kCrash) peak = std::max(peak, ++live);
+            if (e.kind == FaultEvent::Kind::kRecover && live > 0) --live;
+        }
+        return peak;
+    }
+
+    struct SoakOptions {
+        std::uint32_t f = 1;
+        /// Total run length the plan is generated for.
+        Duration duration = seconds(8.0);
+        /// No fault active in the final stretch (liveness measurement).
+        Duration quiet_tail = seconds(3.0);
+        /// Faults start after this much warm-up.
+        Duration warmup = seconds(1.0);
+        std::uint32_t crashes = 0;       // 0 = crash f nodes once, sequentially
+        bool with_partition = true;      // one partition + heal
+        bool with_link_fault = true;     // one lossy/delaying/duplicating link
+        bool with_nic_degrade = true;    // one degraded NIC
+        Duration min_fault = milliseconds(400.0);
+        Duration max_fault = milliseconds(1200.0);
+    };
+
+    /// Generates a randomized-but-seeded soak schedule for an n = 3f+1
+    /// cluster.  Crash windows are sequential (never more than f nodes down
+    /// at once); the partition isolates a minority of ≤ f nodes so a 2f+1
+    /// group keeps the protocol available; link/NIC degradation may overlap
+    /// anything.  The same (options, rng seed) pair always yields the same
+    /// plan.
+    [[nodiscard]] static FaultPlan random_soak(const SoakOptions& opts, Rng rng) {
+        FaultPlan plan;
+        const std::uint32_t n = cluster_size(opts.f);
+        const std::int64_t window_start = opts.warmup.ns;
+        const std::int64_t window_end = opts.duration.ns - opts.quiet_tail.ns;
+        if (window_end <= window_start) return plan;
+
+        const auto span = [&](std::int64_t lo, std::int64_t hi) -> std::int64_t {
+            if (hi <= lo) return lo;
+            return lo + static_cast<std::int64_t>(
+                            rng.next_below(static_cast<std::uint64_t>(hi - lo)));
+        };
+        const auto hold = [&]() -> std::int64_t {
+            return span(opts.min_fault.ns, opts.max_fault.ns);
+        };
+
+        // Sequential crash/recover cycles over distinct nodes, f at a time.
+        std::int64_t cursor = window_start;
+        const std::uint32_t cycles = opts.crashes > 0 ? opts.crashes : 1;
+        for (std::uint32_t c = 0; c < cycles && cursor < window_end; ++c) {
+            // Pick f distinct victims for this cycle.
+            std::vector<std::uint32_t> victims;
+            while (victims.size() < opts.f) {
+                const auto v = static_cast<std::uint32_t>(rng.next_below(n));
+                if (std::find(victims.begin(), victims.end(), v) == victims.end()) {
+                    victims.push_back(v);
+                }
+            }
+            const std::int64_t down_at = span(cursor, std::min(cursor + hold(), window_end));
+            const std::int64_t up_at = std::min(down_at + hold(), window_end);
+            for (std::uint32_t v : victims) {
+                plan.crash(TimePoint{down_at}, NodeId{v});
+                plan.recover(TimePoint{up_at}, NodeId{v});
+            }
+            cursor = up_at + hold() / 2;
+        }
+
+        if (opts.with_partition && cursor < window_end) {
+            // Isolate a random minority of ≤ f nodes; the rest keep quorum.
+            const std::uint32_t minority =
+                1 + static_cast<std::uint32_t>(rng.next_below(opts.f));
+            std::vector<NodeId> iso, rest;
+            std::vector<std::uint32_t> picked;
+            while (picked.size() < minority) {
+                const auto v = static_cast<std::uint32_t>(rng.next_below(n));
+                if (std::find(picked.begin(), picked.end(), v) == picked.end()) {
+                    picked.push_back(v);
+                }
+            }
+            for (std::uint32_t i = 0; i < n; ++i) {
+                if (std::find(picked.begin(), picked.end(), i) != picked.end()) {
+                    iso.push_back(NodeId{i});
+                } else {
+                    rest.push_back(NodeId{i});
+                }
+            }
+            const std::int64_t cut_at = span(cursor, window_end);
+            const std::int64_t heal_at = std::min(cut_at + hold(), window_end);
+            plan.partition(TimePoint{cut_at}, {rest, iso});
+            plan.heal(TimePoint{heal_at});
+        }
+
+        if (opts.with_link_fault) {
+            const auto a = static_cast<std::uint32_t>(rng.next_below(n));
+            auto b = static_cast<std::uint32_t>(rng.next_below(n));
+            if (b == a) b = (b + 1) % n;
+            net::LinkFault lf;
+            lf.loss_prob = 0.05 + rng.next_double() * 0.15;
+            lf.extra_delay = microseconds(100.0 + rng.next_double() * 400.0);
+            lf.duplicate_prob = 0.02 + rng.next_double() * 0.05;
+            lf.reorder_prob = 0.05 + rng.next_double() * 0.10;
+            lf.reorder_window = microseconds(200.0 + rng.next_double() * 800.0);
+            const std::int64_t at = span(window_start, window_end);
+            const std::int64_t off = std::min(at + hold(), window_end);
+            plan.degrade_link(TimePoint{at}, NodeId{a}, NodeId{b}, lf);
+            plan.restore_link(TimePoint{off}, NodeId{a}, NodeId{b});
+        }
+
+        if (opts.with_nic_degrade) {
+            const auto victim = static_cast<std::uint32_t>(rng.next_below(n));
+            const double scale = 0.05 + rng.next_double() * 0.15;  // 5-20% of line rate
+            const std::int64_t at = span(window_start, window_end);
+            const std::int64_t off = std::min(at + hold(), window_end);
+            plan.degrade_nic(TimePoint{at}, NodeId{victim}, scale);
+            plan.restore_nic(TimePoint{off}, NodeId{victim});
+        }
+
+        plan.sort();
+        return plan;
+    }
+
+private:
+    FaultPlan& add(FaultEvent e) {
+        events_.push_back(std::move(e));
+        sorted_ = sorted_ && (events_.size() < 2 ||
+                              events_[events_.size() - 2].at <= events_.back().at);
+        return *this;
+    }
+
+    void sort() {
+        std::stable_sort(events_.begin(), events_.end(),
+                         [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+        sorted_ = true;
+    }
+
+    std::vector<FaultEvent> events_;
+    bool sorted_ = true;
+};
+
+}  // namespace rbft::fault

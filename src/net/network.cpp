@@ -20,6 +20,87 @@ void Network::set_recorder(obs::Recorder* recorder) {
     bytes_counter_ = reg ? reg->counter("net.bytes_sent") : nullptr;
     lost_counter_ = reg ? reg->counter("net.messages_lost") : nullptr;
     closed_drop_counter_ = reg ? reg->counter("net.dropped_closed_nic") : nullptr;
+    fault_drop_counter_ = reg ? reg->counter("net.dropped_fault") : nullptr;
+    duplicate_counter_ = reg ? reg->counter("net.messages_duplicated") : nullptr;
+}
+
+void Network::set_link_fault(Address from, Address to, const LinkFault& fault) {
+    link_faults_[channel_key(from, to)] = fault;
+}
+
+void Network::clear_link_fault(Address from, Address to) {
+    link_faults_.erase(channel_key(from, to));
+}
+
+void Network::clear_all_link_faults() { link_faults_.clear(); }
+
+void Network::set_partition(const std::vector<std::vector<NodeId>>& groups) {
+    partition_group_.assign(node_count_, kIsolated);
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        for (NodeId id : groups[g]) {
+            if (raw(id) < node_count_) partition_group_[raw(id)] = static_cast<std::uint32_t>(g);
+        }
+    }
+}
+
+void Network::clear_partition() { partition_group_.clear(); }
+
+void Network::set_node_down(NodeId id, bool down) {
+    if (down) {
+        down_nodes_.insert(raw(id));
+    } else {
+        down_nodes_.erase(raw(id));
+    }
+}
+
+void Network::set_node_bandwidth_scale(NodeId id, double scale) {
+    auto it = nodes_.find(raw(id));
+    if (it == nodes_.end()) return;
+    for (Nic& n : it->second.peer_nics) n.set_bandwidth_scale(scale);
+    it->second.client_nic.set_bandwidth_scale(scale);
+}
+
+const LinkFault* Network::link_fault(Address from, Address to) const {
+    if (link_faults_.empty()) return nullptr;
+    auto it = link_faults_.find(channel_key(from, to));
+    return it == link_faults_.end() ? nullptr : &it->second;
+}
+
+bool Network::fabric_blocked(Address from, Address to) const noexcept {
+    const bool from_node = from.kind == Address::Kind::kNode;
+    const bool to_node = to.kind == Address::Kind::kNode;
+    if (!down_nodes_.empty()) {
+        if (from_node && down_nodes_.count(from.index)) return true;
+        if (to_node && down_nodes_.count(to.index)) return true;
+    }
+    if (!partition_group_.empty() && from_node && to_node && from.index < node_count_ &&
+        to.index < node_count_) {
+        const std::uint32_t ga = partition_group_[from.index];
+        const std::uint32_t gb = partition_group_[to.index];
+        if (ga == kIsolated || gb == kIsolated || ga != gb) return true;
+    }
+    return false;
+}
+
+Nic* Network::find_rx_nic(Address to, Address from) {
+    if (to.kind == Address::Kind::kNode) {
+        auto it = nodes_.find(to.index);
+        if (it == nodes_.end()) return nullptr;
+        if (from.kind == Address::Kind::kNode) return &it->second.peer_nics.at(from.index);
+        return &it->second.client_nic;
+    }
+    auto it = clients_.find(to.index);
+    return it == clients_.end() ? nullptr : &it->second.nic;
+}
+
+void Network::count_fault_drop(Address from, Address to, std::uint64_t reason) {
+    ++fault_dropped_;
+    if (fault_drop_counter_) fault_drop_counter_->add();
+    if (Nic* rx = find_rx_nic(to, from)) rx->count_drop();
+    if (recorder_ && recorder_->tracing() && to.kind == Address::Kind::kNode) {
+        recorder_->event({simulator_.now(), obs::EventType::kMessageDropped, to.index,
+                          obs::kNoInstance, channel_key(from, to) >> 32, reason, 0.0});
+    }
 }
 
 void Network::register_node(NodeId id, Handler handler) {
@@ -71,13 +152,9 @@ void Network::send(Address from, Address to, MessagePtr message) {
         bytes_counter_->add(bytes);
     }
 
-    // Loss (only meaningful for UDP-style channels).
-    if (params.loss_prob > 0.0 && rng_.next_bool(params.loss_prob)) {
-        if (lost_counter_) lost_counter_->add();
-        return;
-    }
-
     // Self-delivery: loopback, no NIC involvement, tiny constant latency.
+    // Loopback never traverses the fabric, so faults do not apply (a downed
+    // node is silenced at the node layer, not here).
     if (from == to) {
         if (to.kind == Address::Kind::kNode) {
             if (auto it = nodes_.find(to.index); it != nodes_.end() && it->second.handler) {
@@ -89,10 +166,58 @@ void Network::send(Address from, Address to, MessagePtr message) {
         return;
     }
 
-    TimePoint arrival = simulator_.now() + sample_latency(params);
+    // Fabric faults: downed endpoints and partitions eat the message, with
+    // the drop charged to the destination NIC so it shows up in counters.
+    if (fabric_blocked(from, to)) {
+        const bool down = (from.kind == Address::Kind::kNode && down_nodes_.count(from.index)) ||
+                          (to.kind == Address::Kind::kNode && down_nodes_.count(to.index));
+        count_fault_drop(from, to, down ? obs::kDropNodeDown : obs::kDropPartition);
+        return;
+    }
 
-    // FIFO channels never deliver out of order.
-    if (params.fifo) {
+    const LinkFault* fault = link_fault(from, to);
+
+    // Probabilistic loss: the static channel probability combined with any
+    // injected link fault, charged to the destination NIC and the fabric
+    // loss counter (a lost message is a drop the receiver never saw).
+    double loss = params.loss_prob;
+    if (fault && fault->loss_prob > 0.0) loss = 1.0 - (1.0 - loss) * (1.0 - fault->loss_prob);
+    if (loss > 0.0 && rng_.next_bool(loss)) {
+        if (lost_counter_) lost_counter_->add();
+        if (Nic* rx = find_rx_nic(to, from)) rx->count_drop();
+        if (recorder_ && recorder_->tracing() && to.kind == Address::Kind::kNode) {
+            recorder_->event({simulator_.now(), obs::EventType::kMessageDropped, to.index,
+                              obs::kNoInstance, channel_key(from, to) >> 32, obs::kDropLoss, 0.0});
+        }
+        return;
+    }
+
+    deliver(from, to, message, bytes, params, fault, /*duplicate=*/false);
+
+    if (fault && fault->duplicate_prob > 0.0 && rng_.next_bool(fault->duplicate_prob)) {
+        ++duplicated_;
+        if (duplicate_counter_) duplicate_counter_->add();
+        deliver(from, to, message, bytes, params, fault, /*duplicate=*/true);
+    }
+}
+
+void Network::deliver(Address from, Address to, const MessagePtr& message, std::size_t bytes,
+                      const ChannelParams& params, const LinkFault* fault, bool duplicate) {
+    TimePoint arrival = simulator_.now() + sample_latency(params);
+    bool bypass_fifo = duplicate;  // a duplicate is a late retransmission artifact
+    if (fault) {
+        arrival = arrival + fault->extra_delay;
+        if (fault->reorder_prob > 0.0 && fault->reorder_window.ns > 0 &&
+            rng_.next_bool(fault->reorder_prob)) {
+            arrival = arrival + Duration{static_cast<std::int64_t>(
+                                    rng_.next_double() * static_cast<double>(fault->reorder_window.ns))};
+            bypass_fifo = true;
+        }
+    }
+
+    // FIFO channels never deliver out of order (reordered/duplicated copies
+    // excepted: they model loss-and-retransmit below the channel abstraction).
+    if (params.fifo && !bypass_fifo) {
         TimePoint& last = fifo_last_[channel_key(from, to)];
         if (arrival < last) arrival = last;
         last = arrival;
@@ -113,7 +238,8 @@ void Network::send(Address from, Address to, MessagePtr message) {
                 if (closed_drop_counter_) closed_drop_counter_->add();
                 if (recorder_ && recorder_->tracing()) {
                     recorder_->event({arrival, obs::EventType::kMessageDropped, to.index,
-                                      obs::kNoInstance, channel_key(from, to) >> 32, 0, 0.0});
+                                      obs::kNoInstance, channel_key(from, to) >> 32, obs::kDropClosedNic,
+                                      0.0});
                 }
                 return;
             }

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -53,6 +54,18 @@ struct ChannelParams {
     }
 };
 
+/// Dynamic per-link fault state, applied on top of the static channel
+/// parameters by the fault-injection layer (src/fault).  Directional: a
+/// fault on (a → b) does not affect (b → a).
+struct LinkFault {
+    double loss_prob = 0.0;       // extra loss, combined with channel loss
+    Duration extra_delay{};       // added one-way propagation delay
+    double duplicate_prob = 0.0;  // chance the fabric delivers a second copy
+    double reorder_prob = 0.0;    // chance a message takes a detour ...
+    Duration reorder_window{};    // ... of up to this much extra delay,
+                                  // bypassing FIFO ordering for that message
+};
+
 /// One receive-side NIC: bandwidth serialization + administrative close.
 class Nic {
 public:
@@ -69,8 +82,9 @@ public:
     /// Serializes an arriving message of `bytes` and returns its ready time.
     [[nodiscard]] TimePoint serialize(TimePoint arrival, std::size_t bytes) noexcept {
         const TimePoint start = std::max(arrival, busy_until_);
+        const double effective_bps = bandwidth_bps_ * bandwidth_scale_;
         const auto transfer =
-            Duration{static_cast<std::int64_t>(static_cast<double>(bytes) * 8.0 / bandwidth_bps_ * 1e9)};
+            Duration{static_cast<std::int64_t>(static_cast<double>(bytes) * 8.0 / effective_bps * 1e9)};
         busy_until_ = start + transfer;
         bytes_in_ += bytes;
         ++messages_in_;
@@ -79,12 +93,21 @@ public:
 
     void count_drop() noexcept { ++dropped_; }
 
+    /// Degrades (scale < 1) or restores (scale = 1) the NIC's effective
+    /// bandwidth; in-flight serializations keep their already-computed
+    /// ready times.
+    void set_bandwidth_scale(double scale) noexcept {
+        bandwidth_scale_ = scale > 1e-6 ? scale : 1e-6;
+    }
+    [[nodiscard]] double bandwidth_scale() const noexcept { return bandwidth_scale_; }
+
     [[nodiscard]] std::uint64_t bytes_in() const noexcept { return bytes_in_; }
     [[nodiscard]] std::uint64_t messages_in() const noexcept { return messages_in_; }
     [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
 
 private:
     double bandwidth_bps_;
+    double bandwidth_scale_ = 1.0;
     TimePoint busy_until_{};
     TimePoint closed_until_{};
     std::uint64_t bytes_in_ = 0;
@@ -127,6 +150,39 @@ public:
     /// node-bound deliveries).  Null detaches.
     void set_recorder(obs::Recorder* recorder);
 
+    // --- Dynamic fault state (driven by fault::FaultInjector) -------------
+
+    /// Installs a directional fault on the (from → to) link, replacing any
+    /// previous one.  Applies on top of the static channel parameters.
+    void set_link_fault(Address from, Address to, const LinkFault& fault);
+    void clear_link_fault(Address from, Address to);
+    void clear_all_link_faults();
+
+    /// Partitions the node fabric: nodes in different groups cannot exchange
+    /// messages (dropped at send time, counted as destination-NIC drops).
+    /// Nodes absent from every group are fully isolated.  Client links are
+    /// unaffected — the partition models a switch fault between replicas.
+    void set_partition(const std::vector<std::vector<NodeId>>& groups);
+    void clear_partition();
+    [[nodiscard]] bool partitioned() const noexcept { return !partition_group_.empty(); }
+
+    /// Marks a node as down: the fabric drops all traffic to and from it
+    /// (its process is not there to send or receive).
+    void set_node_down(NodeId id, bool down);
+    [[nodiscard]] bool node_down(NodeId id) const noexcept {
+        return down_nodes_.count(raw(id)) != 0;
+    }
+
+    /// Scales the bandwidth of every receive NIC owned by `id` (peer-facing
+    /// and client-facing) — models a degraded/renegotiated physical port.
+    void set_node_bandwidth_scale(NodeId id, double scale);
+
+    /// Messages eaten by partitions or downed nodes (distinct from
+    /// probabilistic loss and closed-NIC drops).
+    [[nodiscard]] std::uint64_t fault_drops() const noexcept { return fault_dropped_; }
+    /// Extra copies delivered by link-fault duplication.
+    [[nodiscard]] std::uint64_t duplicates() const noexcept { return duplicated_; }
+
 private:
     struct NodePort {
         Handler handler;
@@ -144,6 +200,12 @@ private:
     [[nodiscard]] const ChannelParams& params_for(Address from, Address to) const noexcept;
     [[nodiscard]] Duration sample_latency(const ChannelParams& p);
     [[nodiscard]] std::uint64_t channel_key(Address from, Address to) const noexcept;
+    [[nodiscard]] const LinkFault* link_fault(Address from, Address to) const;
+    [[nodiscard]] bool fabric_blocked(Address from, Address to) const noexcept;
+    [[nodiscard]] Nic* find_rx_nic(Address to, Address from);
+    void count_fault_drop(Address from, Address to, std::uint64_t reason);
+    void deliver(Address from, Address to, const MessagePtr& message, std::size_t bytes,
+                 const ChannelParams& params, const LinkFault* fault, bool duplicate);
 
     sim::Simulator& simulator_;
     std::uint32_t node_count_;
@@ -153,15 +215,23 @@ private:
     std::unordered_map<std::uint32_t, NodePort> nodes_;
     std::unordered_map<std::uint32_t, ClientPort> clients_;
     std::unordered_map<std::uint64_t, TimePoint> fifo_last_;  // per ordered channel
+    std::unordered_map<std::uint64_t, LinkFault> link_faults_;  // by channel key
+    std::vector<std::uint32_t> partition_group_;  // by node id; empty = healed
+    std::unordered_set<std::uint32_t> down_nodes_;
     std::uint64_t total_messages_ = 0;
     std::uint64_t total_bytes_ = 0;
+    std::uint64_t fault_dropped_ = 0;
+    std::uint64_t duplicated_ = 0;
 
+    static constexpr std::uint32_t kIsolated = 0xFFFFFFFFu;
     static constexpr std::uint64_t kNicSampleStride = 64;
     obs::Recorder* recorder_ = nullptr;
     obs::Counter* messages_counter_ = nullptr;
     obs::Counter* bytes_counter_ = nullptr;
     obs::Counter* lost_counter_ = nullptr;
     obs::Counter* closed_drop_counter_ = nullptr;
+    obs::Counter* fault_drop_counter_ = nullptr;
+    obs::Counter* duplicate_counter_ = nullptr;
     std::uint64_t nic_sample_seq_ = 0;
 };
 

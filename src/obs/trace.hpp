@@ -39,7 +39,16 @@ enum class EventType : std::uint8_t {
     kCryptoCharge,  // a = op code (0 mac, 1 sig verify, 2 sig sign), x = cost (s)
     kNicSample,     // a = queue depth (ns of backlog), b = packed source addr
     kNicClosed,     // a = peer node whose NIC we closed
-    kMessageDropped,  // a = packed source addr (closed-NIC drop)
+    kMessageDropped,  // a = packed source addr, b = drop reason code
+    // Fault injection lifecycle (src/fault).
+    kNodeCrashed,       // node = crashed replica
+    kNodeRestarted,     // node = recovered replica
+    kPartitionStarted,  // a = group count
+    kPartitionHealed,
+    kLinkDegraded,  // a, b = link endpoint node ids, x = injected loss prob
+    kLinkRestored,  // a, b = link endpoint node ids
+    kNicDegraded,   // node = owner, x = bandwidth scale
+    kNicRestored,   // node = owner
 };
 
 /// Monitoring verdict codes (TraceEvent::b for kMonitorVerdict).
@@ -50,6 +59,14 @@ enum : std::uint64_t {
     /// Enough traffic to judge, but zero backup progress — the paper's
     /// flooding attacks land here (nothing to compare the master against).
     kVerdictNotJudged = 3,
+};
+
+/// Message-drop reason codes (TraceEvent::b for kMessageDropped).
+enum : std::uint64_t {
+    kDropClosedNic = 0,
+    kDropLoss = 1,
+    kDropPartition = 2,
+    kDropNodeDown = 3,
 };
 
 [[nodiscard]] constexpr const char* event_name(EventType t) noexcept {
@@ -71,6 +88,14 @@ enum : std::uint64_t {
         case EventType::kNicSample: return "nic_sample";
         case EventType::kNicClosed: return "nic_closed";
         case EventType::kMessageDropped: return "message_dropped";
+        case EventType::kNodeCrashed: return "node_crashed";
+        case EventType::kNodeRestarted: return "node_restarted";
+        case EventType::kPartitionStarted: return "partition_started";
+        case EventType::kPartitionHealed: return "partition_healed";
+        case EventType::kLinkDegraded: return "link_degraded";
+        case EventType::kLinkRestored: return "link_restored";
+        case EventType::kNicDegraded: return "nic_degraded";
+        case EventType::kNicRestored: return "nic_restored";
     }
     return "?";
 }

@@ -22,6 +22,7 @@ Cluster::Cluster(ClusterConfig config, ServiceFactory service_factory)
         nc.batch_delay = config_.batch_delay;
         nc.order_full_requests = config_.order_full_requests;
         nc.checkpoint_interval = config_.checkpoint_interval;
+        nc.engine_retry_interval = config_.engine_retry_interval;
         nc.monitoring = config_.monitoring;
         nc.flood_defense = config_.flood_defense;
         nc.instances_override = config_.instances_override;
@@ -37,6 +38,16 @@ Cluster::Cluster(ClusterConfig config, ServiceFactory service_factory)
 
 void Cluster::start() {
     for (auto& node : nodes_) node->start();
+}
+
+void Cluster::crash_node(NodeId id) {
+    node(id).crash();
+    network_->set_node_down(id, true);
+}
+
+void Cluster::restart_node(NodeId id) {
+    network_->set_node_down(id, false);
+    node(id).restart();
 }
 
 }  // namespace rbft::core

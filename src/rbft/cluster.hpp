@@ -28,6 +28,10 @@ struct ClusterConfig {
     Duration batch_delay = milliseconds(1.0);
     bool order_full_requests = false;
     std::uint64_t checkpoint_interval = 128;
+    /// Engine stall retry period (0 = disabled, the seed behavior).  Enable
+    /// for fault-injection runs so ordering quorums interrupted by crashes
+    /// or partitions complete after the fault clears.
+    Duration engine_retry_interval{};
 
     MonitoringConfig monitoring{};
     FloodDefenseConfig flood_defense{};
@@ -72,6 +76,14 @@ public:
     [[nodiscard]] NodeId master_primary_node() {
         return nodes_.front()->engine(Node::master_instance()).primary();
     }
+
+    /// Crash-stops a node: the process falls silent and the fabric drops
+    /// all traffic to and from it (counted as NIC drops).
+    void crash_node(NodeId id);
+
+    /// Reopens the fabric and restarts the node's process with empty
+    /// volatile state; it rejoins via checkpoint state transfer.
+    void restart_node(NodeId id);
 
 private:
     ClusterConfig config_;

@@ -22,21 +22,7 @@ Node::Node(NodeConfig config, sim::Simulator& simulator, net::Network& network,
       service_(std::move(service)),
       cpu_(config.cores) {
     const std::uint32_t instances = config_.instance_count();
-    engines_.reserve(instances);
-    for (std::uint32_t i = 0; i < instances; ++i) {
-        bft::EngineConfig ec;
-        ec.instance = InstanceId{i};
-        ec.node = config_.id;
-        ec.n = config_.n;
-        ec.f = config_.f;
-        ec.batch_max = config_.batch_max;
-        ec.batch_delay = config_.batch_delay;
-        ec.order_full_requests = config_.order_full_requests;
-        ec.checkpoint_interval = config_.checkpoint_interval;
-        ec.recorder = config_.recorder;
-        engines_.push_back(std::make_unique<bft::InstanceEngine>(
-            ec, simulator_, replica_core(InstanceId{i}), keys_, costs_, *this));
-    }
+    make_engines(/*recovering=*/false);
     ordered_counters_.resize(instances);
     monitor_series_.resize(instances);
 
@@ -62,8 +48,112 @@ Node::Node(NodeConfig config, sim::Simulator& simulator, net::Network& network,
     }
 }
 
+void Node::make_engines(bool recovering) {
+    const std::uint32_t instances = config_.instance_count();
+    engines_.reserve(instances);
+    for (std::uint32_t i = 0; i < instances; ++i) {
+        bft::EngineConfig ec;
+        ec.instance = InstanceId{i};
+        ec.node = config_.id;
+        ec.n = config_.n;
+        ec.f = config_.f;
+        ec.batch_max = config_.batch_max;
+        ec.batch_delay = config_.batch_delay;
+        ec.order_full_requests = config_.order_full_requests;
+        ec.checkpoint_interval = config_.checkpoint_interval;
+        ec.retry_interval = config_.engine_retry_interval;
+        ec.recovering = recovering;
+        ec.recorder = config_.recorder;
+        engines_.push_back(std::make_unique<bft::InstanceEngine>(
+            ec, simulator_, replica_core(InstanceId{i}), keys_, costs_, *this));
+    }
+}
+
 void Node::start() {
     monitor_timer_.start(simulator_, config_.monitoring.period, [this] { monitoring_tick(); });
+}
+
+// ---------------------------------------------------------------------------
+// Crash / restart lifecycle.
+
+void Node::crash() {
+    if (crashed_) return;
+    crashed_ = true;
+    ++stats_.crashes;
+    monitor_timer_.stop(simulator_);
+    // Retire (do not destroy) the replicas: pending simulator and CPU
+    // callbacks still reference them; retired replicas never act again.
+    for (auto& engine : engines_) engine->retire();
+    if (recorder_ && recorder_->tracing()) {
+        recorder_->event({simulator_.now(), obs::EventType::kNodeCrashed, raw(config_.id),
+                          obs::kNoInstance, 0, 0, 0.0});
+    }
+}
+
+void Node::restart() {
+    if (!crashed_) return;
+    for (auto& engine : engines_) retired_engines_.push_back(std::move(engine));
+    engines_.clear();
+    make_engines(/*recovering=*/true);
+
+    // Volatile protocol state did not survive the crash.  The node rejoins
+    // with empty tables and resynchronizes from its peers: sequence numbers
+    // via checkpoint state transfer, views and cpi via checkpoint
+    // piggybacks / instance-change quorums.  (Application state transfer is
+    // not modeled; the service restarts empty, like the ordering log.)
+    requests_.clear();
+    executed_.clear();
+    last_reply_.clear();
+    blacklisted_clients_.clear();
+    ordering_started_.clear();
+    client_latency_.clear();
+    master_latency_series_.clear();
+    invalid_counts_.clear();
+    ic_votes_.clear();
+    peer_cpi_.clear();
+    cpi_ = 0;
+    voted_current_cpi_ = false;
+    suspicious_ = false;
+    bad_window_streak_ = 0;
+    last_instance_change_ = simulator_.now();
+    for (auto& counter : ordered_counters_) (void)counter.take();
+    // Extra grace: the node needs a few periods to resync before its
+    // monitoring comparisons mean anything.
+    grace_remaining_ = config_.monitoring.grace_ticks + 3;
+
+    recovering_ = true;
+    crashed_ = false;
+    ++stats_.restarts;
+    monitor_timer_.start(simulator_, config_.monitoring.period, [this] { monitoring_tick(); });
+    if (recorder_ && recorder_->tracing()) {
+        recorder_->event({simulator_.now(), obs::EventType::kNodeRestarted, raw(config_.id),
+                          obs::kNoInstance, 0, 0, 0.0});
+    }
+}
+
+void Node::note_peer_cpi(NodeId from, std::uint64_t peer_cpi) {
+    auto [it, inserted] = peer_cpi_.try_emplace(raw(from), peer_cpi);
+    if (!inserted && peer_cpi > it->second) it->second = peer_cpi;
+    if (peer_cpi_.size() < propagate_quorum(config_.f)) return;
+
+    // f+1 peers reported: at least one is correct, so the highest cpi that
+    // f+1 of them reached is a round the system actually entered.
+    std::uint64_t best = cpi_;
+    for (const auto& [peer, c] : peer_cpi_) {
+        if (c <= best) continue;
+        std::size_t count = 0;
+        for (const auto& [peer2, c2] : peer_cpi_) {
+            if (c2 >= c) ++count;
+        }
+        if (count >= propagate_quorum(config_.f)) best = c;
+    }
+    if (best > cpi_) {
+        cpi_ = best;
+        voted_current_cpi_ = false;
+        ic_votes_.erase(ic_votes_.begin(), ic_votes_.lower_bound(cpi_));
+        reset_monitoring_state();
+    }
+    recovering_ = false;  // quorum picture acquired, engines sync via views
 }
 
 // ---------------------------------------------------------------------------
@@ -71,6 +161,7 @@ void Node::start() {
 
 void Node::on_message(net::Address from, const net::MessagePtr& m) {
     if (faulty_) return;  // a Byzantine node's behaviour is driven by src/attacks
+    if (crashed_) return;  // nobody home: the process is down
 
     switch (m->type()) {
         case net::MsgType::kRequest:
@@ -98,9 +189,15 @@ void Node::on_message(net::Address from, const net::MessagePtr& m) {
                 case net::MsgType::kCommit:
                     instance = static_cast<const bft::PhaseMsg&>(*m).instance;
                     break;
-                case net::MsgType::kCheckpoint:
-                    instance = static_cast<const bft::CheckpointMsg&>(*m).instance;
+                case net::MsgType::kCheckpoint: {
+                    const auto& cp = static_cast<const bft::CheckpointMsg&>(*m);
+                    instance = cp.instance;
+                    // Recovery: checkpoints carry the sender's cpi; a node
+                    // that lost its round counter catches up from f+1
+                    // matching reports.
+                    if (recovering_) note_peer_cpi(NodeId{from.index}, cp.cpi);
                     break;
+                }
                 case net::MsgType::kViewChange:
                     instance = static_cast<const bft::ViewChangeMsg&>(*m).instance;
                     break;
@@ -175,6 +272,24 @@ void Node::verification_receive(net::Address from,
     if (auto it = requests_.find(RequestKey{req->client, req->rid});
         it != requests_.end() && (it->second.request || it->second.verifying)) {
         cpu_.core(kVerificationCore).charge(simulator_, costs_.recv_overhead);
+        // Repair mode: a retransmission of an adopted-but-unexecuted request
+        // is re-offered with a fresh PROPAGATE.  A replica that lost its
+        // volatile state in a crash cannot assemble a propagate quorum from
+        // the original PROPAGATEs, which predate its restart; client backoff
+        // rate-limits the re-offers.
+        if (config_.engine_retry_interval.ns > 0 && it->second.request &&
+            it->second.self_propagated &&
+            !executed_.contains(RequestKey{req->client, req->rid})) {
+            const auto stored = it->second.request;
+            cpu_.core(kVerificationCore)
+                .submit(simulator_, costs_.mac_op, [this, req, stored] {
+                    if ((req->corrupt_mac_mask >> raw(config_.id)) & 1) return;
+                    cpu_.core(kPropagationCore)
+                        .submit(simulator_, Duration{}, [this, stored] {
+                            propagation_self(stored, /*re_offer=*/true);
+                        });
+                });
+        }
         return;
     }
     if (cpu_.core(kVerificationCore).backlog(simulator_) > milliseconds(50.0)) {
@@ -232,7 +347,8 @@ void Node::verification_receive(net::Address from,
 
                 // Hand over to the Propagation module.
                 cpu_.core(kPropagationCore)
-                    .submit(simulator_, Duration{}, [this, req] { propagation_self(req); });
+                    .submit(simulator_, Duration{},
+                            [this, req] { propagation_self(req); });
             });
     });
 }
@@ -240,10 +356,10 @@ void Node::verification_receive(net::Address from,
 // ---------------------------------------------------------------------------
 // Step 2: Propagation module.
 
-void Node::propagation_self(const std::shared_ptr<const bft::RequestMsg>& req) {
+void Node::propagation_self(const std::shared_ptr<const bft::RequestMsg>& req, bool re_offer) {
     const RequestKey key{req->client, req->rid};
     RequestState& state = requests_[key];
-    if (state.self_propagated) return;
+    if (state.self_propagated && !re_offer) return;
     state.self_propagated = true;
     state.propagated_by.insert(config_.id);
     if (!state.request) state.request = req;
@@ -351,6 +467,7 @@ bool Node::engine_request_cleared(const bft::RequestRef& ref) {
 }
 
 void Node::engine_send(InstanceId, NodeId dest, net::MessagePtr m) {
+    if (crashed_) return;  // a stale replica callback must not leak output
     network_.send(net::Address::node(config_.id), net::Address::node(dest), std::move(m));
 }
 
@@ -360,8 +477,25 @@ void Node::engine_view_installed(InstanceId, ViewId) {}
 // Steps 5-6: ordered batches, execution, replies.
 
 void Node::engine_ordered(const bft::OrderedBatch& batch) {
+    if (crashed_) return;
     const std::uint32_t idx = raw(batch.instance);
     ordered_counters_[idx].add(batch.requests.size());
+
+    if (batch.instance == master_instance()) {
+        // Safety log: fingerprint of the batch content keyed by seq.  Kept
+        // across restarts (a recovered node's log simply has a hole where
+        // state transfer skipped delivery).
+        std::uint64_t h = 1469598103934665603ULL;  // FNV-1a
+        const auto mix = [&h](std::uint64_t v) {
+            h ^= v;
+            h *= 1099511628211ULL;
+        };
+        for (const auto& ref : batch.requests) {
+            mix(raw(ref.client));
+            mix(raw(ref.rid));
+        }
+        commit_log_.emplace_back(raw(batch.seq), h);
+    }
 
     for (const auto& ref : batch.requests) {
         auto it = requests_.find(ref.key());
@@ -564,7 +698,13 @@ void Node::handle_instance_change(NodeId from, const InstanceChangeMsg& m) {
         vote_instance_change(IcReason::kJoin);
         return;  // vote_instance_change re-checks the quorum
     }
-    if (ic_votes_[cpi_].size() >= commit_quorum(config_.f)) perform_instance_change();
+    if (ic_votes_[m.cpi].size() >= commit_quorum(config_.f)) {
+        // A quorum formed on m.cpi ≥ ours.  Jumping to the quorum's round
+        // lets a node that missed earlier rounds (crash, partition) rejoin
+        // instead of waiting for votes that will never be re-sent.
+        cpi_ = m.cpi;
+        perform_instance_change();
+    }
 }
 
 void Node::perform_instance_change() {
@@ -578,6 +718,7 @@ void Node::perform_instance_change() {
     ic_votes_.erase(ic_votes_.begin(), ic_votes_.upper_bound(cpi_));
     ++cpi_;
     voted_current_cpi_ = false;
+    recovering_ = false;  // moving with the quorum counts as resynced
     for (auto& engine : engines_) engine->start_view_change(next(engine->view()));
     reset_monitoring_state();
 }

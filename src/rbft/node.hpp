@@ -93,6 +93,9 @@ struct NodeConfig {
     Duration batch_delay = milliseconds(1.0);
     bool order_full_requests = false;  // §VI-B ablation
     std::uint64_t checkpoint_interval = 128;
+    /// Engine stall retry (see EngineConfig::retry_interval); zero keeps
+    /// the seed behavior.  Enable for runs with partitions or crashes.
+    Duration engine_retry_interval{};
 
     MonitoringConfig monitoring{};
     FloodDefenseConfig flood_defense{};
@@ -123,6 +126,8 @@ struct NodeStats {
     std::uint64_t instance_changes_voted = 0;
     std::uint64_t instance_changes_done = 0;
     std::uint64_t nic_closures = 0;
+    std::uint64_t crashes = 0;
+    std::uint64_t restarts = 0;
 };
 
 class Node final : public bft::EngineHost {
@@ -142,6 +147,7 @@ public:
     void engine_ordered(const bft::OrderedBatch& batch) override;
     bool engine_request_cleared(const bft::RequestRef& ref) override;
     void engine_view_installed(InstanceId instance, ViewId view) override;
+    [[nodiscard]] std::uint64_t host_cpi() const override { return cpi_; }
 
     // -- Introspection / control ---------------------------------------------
     [[nodiscard]] const NodeConfig& config() const noexcept { return config_; }
@@ -177,6 +183,30 @@ public:
     /// (worst-attack-2: the faulty node keeps running the master primary
     /// but never votes or reports honestly).
     void set_monitoring_enabled(bool enabled) noexcept { monitoring_enabled_ = enabled; }
+
+    /// Crash-stops the node: all modules and replicas fall silent and every
+    /// incoming message is ignored.  Volatile protocol state is considered
+    /// lost (it is wiped on restart); use Cluster::crash_node to also sever
+    /// the node at the fabric.
+    void crash();
+
+    /// Brings a crashed node back with fresh replicas and empty volatile
+    /// state.  The node rejoins by adopting the quorum's checkpoint (state
+    /// transfer in InstanceEngine::advance_stable), view (f+1 matching
+    /// checkpoint piggybacks) and cpi (f+1 matching reports or a quorum of
+    /// INSTANCE_CHANGE votes).
+    void restart();
+    [[nodiscard]] bool crashed() const noexcept { return crashed_; }
+    [[nodiscard]] bool recovering() const noexcept { return recovering_; }
+
+    /// Master-instance delivery log: (seq, batch fingerprint) per delivered
+    /// batch, in local delivery order, persisted across restarts.  Safety
+    /// invariant: any two correct nodes agree on the fingerprint of every
+    /// seq they both delivered.
+    [[nodiscard]] const std::vector<std::pair<std::uint64_t, std::uint64_t>>& commit_log()
+        const noexcept {
+        return commit_log_;
+    }
 
     /// Starts periodic monitoring (call once after wiring the cluster).
     void start();
@@ -216,7 +246,8 @@ private:
     // Module handlers.  Each runs on its pinned core after charging cost.
     void verification_receive(net::Address from, std::shared_ptr<const bft::RequestMsg> req);
     void propagation_receive(NodeId from, std::shared_ptr<const PropagateMsg> msg);
-    void propagation_self(const std::shared_ptr<const bft::RequestMsg>& req);
+    void propagation_self(const std::shared_ptr<const bft::RequestMsg>& req,
+                          bool re_offer = false);
     void maybe_clear(const RequestKey& key);
     void dispatch(const RequestKey& key);
     void execute(const bft::RequestRef& ref);
@@ -235,6 +266,10 @@ private:
     // Flood defense.
     void count_invalid(net::Address from);
 
+    // Crash/recovery internals.
+    void make_engines(bool recovering);
+    void note_peer_cpi(NodeId from, std::uint64_t peer_cpi);
+
     [[nodiscard]] sim::CpuCore& replica_core(InstanceId i) {
         return cpu_.core(kFirstReplicaCore + raw(i));
     }
@@ -248,6 +283,10 @@ private:
     sim::NodeCpu cpu_;
 
     std::vector<std::unique_ptr<bft::InstanceEngine>> engines_;
+    // Replicas retired by a crash.  They must outlive any simulator/CPU
+    // callbacks that captured them, so they are kept (permanently silent)
+    // until the node is destroyed.
+    std::vector<std::unique_ptr<bft::InstanceEngine>> retired_engines_;
 
     std::unordered_map<RequestKey, RequestState> requests_;
     std::unordered_set<RequestKey> executed_;
@@ -273,6 +312,12 @@ private:
 
     // Flood defense.
     std::unordered_map<std::uint64_t, std::uint64_t> invalid_counts_;  // per source
+
+    // Crash/recovery state.
+    bool crashed_ = false;
+    bool recovering_ = false;
+    std::unordered_map<std::uint32_t, std::uint64_t> peer_cpi_;  // checkpoint piggybacks
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> commit_log_;  // (seq, fingerprint)
 
     NodeStats stats_;
     bool faulty_ = false;

@@ -13,6 +13,8 @@
 // or restricting targets.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -51,6 +53,21 @@ struct ClientBehavior {
     /// never).  PBFT-family clients retransmit to trigger the cached-reply
     /// path and, in the baselines, the primary-suspicion timers.
     Duration retransmit_timeout{};
+    /// Backoff multiplier applied per retransmission attempt: the delay
+    /// before attempt k is min(retransmit_cap, timeout * backoff^k),
+    /// optionally stretched by jitter.  1.0 (default) = fixed interval, the
+    /// original behaviour.  Chaos-soak clients use ~2.0 so a partitioned
+    /// minority does not hammer the fabric while it is unreachable.
+    double retransmit_backoff = 1.0;
+    /// Upper bound on the backed-off delay (0 = 32x the base timeout).
+    Duration retransmit_cap{};
+    /// Uniform jitter fraction: each delay is stretched by a factor drawn
+    /// from [1, 1 + jitter) to de-synchronize retransmission storms after a
+    /// heal.  0 (default) = deterministic fixed delays.
+    double retransmit_jitter = 0.0;
+    /// Seed for the client's private jitter stream (mixed with the client
+    /// id, so same-seed runs are reproducible).
+    std::uint64_t jitter_seed = 0x7261626269747321ULL;
 };
 
 class ClientEndpoint {
@@ -64,7 +81,8 @@ public:
           keys_(keys),
           n_(n),
           f_(f),
-          behavior_(behavior) {
+          behavior_(behavior),
+          jitter_rng_(behavior.jitter_seed ^ (raw(id) * 0x9E3779B97F4A7C15ULL)) {
         network_.register_client(id_, [this](net::Address from, const net::MessagePtr& m) {
             on_message(from, m);
         });
@@ -159,6 +177,11 @@ public:
 
 private:
     void send_request(const std::shared_ptr<bft::RequestMsg>& req) {
+        transmit(req);
+        schedule_retransmit(req, 0);
+    }
+
+    void transmit(const std::shared_ptr<bft::RequestMsg>& req) {
         if (behavior_.round_robin_single) {
             const auto target = static_cast<std::uint32_t>((raw(id_) + raw(req->rid)) % n_);
             network_.send(net::Address::client(id_), net::Address::node(NodeId{target}), req);
@@ -171,13 +194,34 @@ private:
                 network_.send(net::Address::client(id_), net::Address::node(target), req);
             }
         }
-        if (behavior_.retransmit_timeout.ns > 0) {
-            simulator_.schedule_after(behavior_.retransmit_timeout, [this, req] {
-                if (!send_times_.contains(req->rid)) return;  // completed
-                ++retransmissions_;
-                send_request(req);
-            });
+    }
+
+    void schedule_retransmit(const std::shared_ptr<bft::RequestMsg>& req, std::uint32_t attempt) {
+        if (behavior_.retransmit_timeout.ns <= 0) return;
+        simulator_.schedule_after(retransmit_delay(attempt), [this, req, attempt] {
+            if (!send_times_.contains(req->rid)) return;  // completed
+            ++retransmissions_;
+            transmit(req);
+            schedule_retransmit(req, attempt + 1);
+        });
+    }
+
+    /// Delay before retransmission attempt `attempt` (0-based): capped
+    /// exponential backoff over the base timeout, plus uniform jitter.
+    [[nodiscard]] Duration retransmit_delay(std::uint32_t attempt) {
+        const auto base = static_cast<double>(behavior_.retransmit_timeout.ns);
+        const std::int64_t cap =
+            behavior_.retransmit_cap.ns > 0 ? behavior_.retransmit_cap.ns
+                                            : behavior_.retransmit_timeout.ns * 32;
+        double ns = base;
+        if (behavior_.retransmit_backoff > 1.0) {
+            ns = base * std::pow(behavior_.retransmit_backoff, static_cast<double>(attempt));
         }
+        ns = std::min(ns, static_cast<double>(cap));
+        if (behavior_.retransmit_jitter > 0.0) {
+            ns *= 1.0 + behavior_.retransmit_jitter * jitter_rng_.next_double();
+        }
+        return Duration{static_cast<std::int64_t>(ns)};
     }
 
     void on_message(net::Address from, const net::MessagePtr& m) {
@@ -214,6 +258,7 @@ private:
 
     std::function<void(RequestId, Duration)> on_complete_;
     RequestId next_rid_{RequestId{1}};
+    Rng jitter_rng_;
     std::uint64_t sent_ = 0;
     std::uint64_t retransmissions_ = 0;
     std::unordered_map<RequestId, TimePoint> send_times_;

@@ -181,10 +181,16 @@ TEST(CheckpointMsg, RoundTrip) {
     m.seq = SeqNum{128};
     m.state_digest.bytes[0] = 1;
     m.replica = NodeId{2};
+    m.view = ViewId{7};
+    m.cpi = 3;
+    m.executed = 141;
     const CheckpointMsg out = round_trip(m);
     EXPECT_EQ(out.seq, m.seq);
     EXPECT_EQ(out.state_digest, m.state_digest);
     EXPECT_EQ(out.replica, m.replica);
+    EXPECT_EQ(out.view, m.view);
+    EXPECT_EQ(out.cpi, m.cpi);
+    EXPECT_EQ(out.executed, m.executed);
 }
 
 TEST(ViewChangeMsg, RoundTripWithProofs) {

@@ -131,6 +131,77 @@ TEST(ViewChange, SequentialChangesAcrossAllPrimaries) {
     }
 }
 
+TEST(ViewChange, MasterPrimaryCrashTriggersInstanceChange) {
+    // The master primary's node crashes mid-run (a real crash severing all
+    // I/O, not just a silent engine): the backup instance keeps ordering
+    // while the master stalls, so monitoring on the 2f+1 survivors votes an
+    // instance change and ordering resumes under the new master primary.
+    core::ClusterConfig cfg;
+    cfg.seed = 61;
+    cfg.checkpoint_interval = 8;
+    cfg.engine_retry_interval = milliseconds(50.0);
+    core::Cluster cluster(cfg);
+    cluster.start();
+
+    workload::ClientBehavior behavior;
+    behavior.retransmit_timeout = milliseconds(20.0);
+    behavior.retransmit_backoff = 2.0;
+    ClientEndpoint client(ClientId{0}, cluster.simulator(), cluster.network(), cluster.keys(),
+                          cfg.n(), cfg.f, behavior);
+    LoadGenerator load(cluster.simulator(), {&client},
+                       LoadSpec::constant(2000.0, seconds(3.0), 1), Rng(5));
+    load.start();
+    cluster.simulator().schedule_at(TimePoint{} + milliseconds(500.0),
+                                    [&] { cluster.crash_node(NodeId{0}); });
+    cluster.simulator().run_for(seconds(4.5));
+
+    EXPECT_GE(cluster.node(1).cpi(), 1u);
+    // Read the new configuration from a live node: node 0 is crashed and
+    // its frozen engine still claims the old primary.
+    EXPECT_NE(cluster.node(1).engine(InstanceId{0}).primary(), NodeId{0});
+    EXPECT_EQ(client.completed(), client.sent());
+}
+
+TEST(ViewChange, CrashedMasterPrimaryRecoversAndRejoins) {
+    // Crash + recover across an instance change: the restarted node comes
+    // back with empty volatile state and a stale view, adopts the quorum's
+    // view/cpi from checkpoint gossip, and catches up via state transfer
+    // instead of stalling the new configuration.
+    core::ClusterConfig cfg;
+    cfg.seed = 61;
+    cfg.checkpoint_interval = 8;
+    cfg.engine_retry_interval = milliseconds(50.0);
+    core::Cluster cluster(cfg);
+    cluster.start();
+
+    workload::ClientBehavior behavior;
+    behavior.retransmit_timeout = milliseconds(20.0);
+    behavior.retransmit_backoff = 2.0;
+    ClientEndpoint client(ClientId{0}, cluster.simulator(), cluster.network(), cluster.keys(),
+                          cfg.n(), cfg.f, behavior);
+    LoadGenerator load(cluster.simulator(), {&client},
+                       LoadSpec::constant(2000.0, seconds(3.5), 1), Rng(5));
+    load.start();
+    cluster.simulator().schedule_at(TimePoint{} + milliseconds(500.0),
+                                    [&] { cluster.crash_node(NodeId{0}); });
+    cluster.simulator().schedule_at(TimePoint{} + milliseconds(2500.0),
+                                    [&] { cluster.restart_node(NodeId{0}); });
+    cluster.simulator().run_for(seconds(5.5));
+
+    EXPECT_EQ(client.completed(), client.sent());
+    EXPECT_GE(cluster.node(1).cpi(), 1u);
+    EXPECT_FALSE(cluster.node(0).crashed());
+    EXPECT_EQ(cluster.node(0).stats().restarts, 1u);
+    // The recovered node converged on the quorum's configuration...
+    EXPECT_EQ(cluster.node(0).cpi(), cluster.node(1).cpi());
+    // ...and its master-instance frontier tracks the quorum via state
+    // transfer (within a few checkpoint intervals).
+    const auto stable0 = raw(cluster.node(0).engine(InstanceId{0}).last_stable());
+    const auto stable1 = raw(cluster.node(1).engine(InstanceId{0}).last_stable());
+    EXPECT_GT(stable0, 0u);
+    EXPECT_GE(stable0 + 3 * cfg.checkpoint_interval, stable1);
+}
+
 TEST(ViewChange, F2CoordinatedChangeWorks) {
     core::ClusterConfig cfg;
     cfg.f = 2;

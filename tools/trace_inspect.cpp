@@ -3,12 +3,18 @@
 // writer emits exactly one event object per line, so a line-oriented field
 // scanner is sufficient and keeps the tool dependency-free.
 //
-//   trace_inspect <trace.json> [--events] [--type <name>] [--node <id>]
+//   trace_inspect <trace.json> [faults] [--events] [--type <name>] [--node <id>]
 //
 // Prints: per-protocol-instance ordering rate and phase latencies
 // (pre-prepare -> prepared -> committed -> delivered), the protocol-instance
 // change timeline with the monitoring verdicts that led to each, and NIC /
 // crypto substrate summaries.  --events dumps the (filtered) raw timeline.
+//
+// The `faults` subcommand renders the fault/recovery view of a chaos run:
+// the injected fault timeline (crash/recover, partition/heal, link and NIC
+// degradation as emitted by fault::FaultInjector), the view / instance
+// changes observed in response, and — for every clearing event — the time
+// until the master instance delivered its next batch (recovery lag).
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -90,6 +96,98 @@ struct InstanceSummary {
     std::vector<double> order_s;     // pre-prepare -> delivered (engine-reported)
 };
 
+bool is_fault_event(const std::string& type) {
+    return type == "node_crashed" || type == "node_restarted" ||
+           type == "partition_started" || type == "partition_healed" ||
+           type == "link_degraded" || type == "link_restored" ||
+           type == "nic_degraded" || type == "nic_restored";
+}
+
+bool is_clearing_event(const std::string& type) {
+    return type == "node_restarted" || type == "partition_healed" ||
+           type == "link_restored" || type == "nic_restored";
+}
+
+/// `faults` subcommand: injected events vs observed protocol reaction, plus
+/// recovery lag (clear -> next master-instance delivery).
+int faults_summary(const std::vector<Event>& events) {
+    std::vector<const Event*> injected;
+    std::vector<const Event*> reactions;
+    std::vector<std::int64_t> master_deliveries;  // times, ascending
+    for (const Event& e : events) {
+        if (is_fault_event(e.type)) {
+            injected.push_back(&e);
+        } else if (e.type == "instance_change_done" || e.type == "view_change_start") {
+            reactions.push_back(&e);
+        } else if (e.type == "batch_delivered" && e.instance == 0) {
+            master_deliveries.push_back(e.t_ns);
+        }
+    }
+    if (injected.empty()) {
+        std::printf("no fault events in trace (run with a FaultInjector and tracing on)\n");
+        return 0;
+    }
+
+    std::printf("-- injected faults --\n");
+    for (const Event* e : injected) {
+        std::printf("%12.6f  %-18s", seconds(e->t_ns), e->type.c_str());
+        if (e->type == "node_crashed" || e->type == "node_restarted") {
+            std::printf("  node %lld", static_cast<long long>(e->node));
+        } else if (e->type == "partition_started") {
+            std::printf("  %llu groups", static_cast<unsigned long long>(e->a));
+        } else if (e->type == "link_degraded") {
+            std::printf("  link %llu<->%llu loss=%.2f", static_cast<unsigned long long>(e->a),
+                        static_cast<unsigned long long>(e->b), e->x);
+        } else if (e->type == "link_restored") {
+            std::printf("  link %llu<->%llu", static_cast<unsigned long long>(e->a),
+                        static_cast<unsigned long long>(e->b));
+        } else if (e->type == "nic_degraded") {
+            std::printf("  node %llu bandwidth x%.2f", static_cast<unsigned long long>(e->a),
+                        e->x);
+        } else if (e->type == "nic_restored") {
+            std::printf("  node %llu", static_cast<unsigned long long>(e->a));
+        }
+        std::printf("\n");
+    }
+
+    std::uint64_t instance_changes = 0, view_changes = 0;
+    for (const Event* e : reactions) {
+        if (e->type == "instance_change_done") ++instance_changes;
+        if (e->type == "view_change_start") ++view_changes;
+    }
+    std::printf("\n-- observed protocol reaction --\n");
+    std::printf("instance changes done: %llu   view changes started: %llu\n",
+                static_cast<unsigned long long>(instance_changes),
+                static_cast<unsigned long long>(view_changes));
+    for (const Event* e : reactions) {
+        if (e->type == "instance_change_done") {
+            std::printf("%12.6f  node %-3lld instance change done, new cpi %llu\n",
+                        seconds(e->t_ns), static_cast<long long>(e->node),
+                        static_cast<unsigned long long>(e->a));
+        } else {
+            std::printf("%12.6f  node %-3lld inst %-2lld view change -> view %llu\n",
+                        seconds(e->t_ns), static_cast<long long>(e->node),
+                        static_cast<long long>(e->instance),
+                        static_cast<unsigned long long>(e->a));
+        }
+    }
+
+    std::printf("\n-- recovery after clearing events --\n");
+    for (const Event* e : injected) {
+        if (!is_clearing_event(e->type)) continue;
+        const auto next = std::upper_bound(master_deliveries.begin(), master_deliveries.end(),
+                                           e->t_ns);
+        if (next == master_deliveries.end()) {
+            std::printf("%12.6f  %-18s no master delivery afterwards\n", seconds(e->t_ns),
+                        e->type.c_str());
+        } else {
+            std::printf("%12.6f  %-18s next master delivery +%.6f s\n", seconds(e->t_ns),
+                        e->type.c_str(), seconds(*next - e->t_ns));
+        }
+    }
+    return 0;
+}
+
 const char* verdict_name(std::uint64_t code) {
     switch (code) {
         case rbft::obs::kVerdictOk: return "ok";
@@ -105,11 +203,14 @@ const char* verdict_name(std::uint64_t code) {
 int main(int argc, char** argv) {
     const char* path = nullptr;
     bool dump_events = false;
+    bool faults_mode = false;
     const char* filter_type = nullptr;
     std::int64_t filter_node = -2;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--events") == 0) {
             dump_events = true;
+        } else if (std::strcmp(argv[i], "faults") == 0) {
+            faults_mode = true;
         } else if (std::strcmp(argv[i], "--type") == 0 && i + 1 < argc) {
             filter_type = argv[++i];
         } else if (std::strcmp(argv[i], "--node") == 0 && i + 1 < argc) {
@@ -118,8 +219,8 @@ int main(int argc, char** argv) {
             path = argv[i];
         } else {
             std::fprintf(stderr,
-                         "usage: trace_inspect <trace.json> [--events] [--type <name>] "
-                         "[--node <id>]\n");
+                         "usage: trace_inspect <trace.json> [faults] [--events] "
+                         "[--type <name>] [--node <id>]\n");
             return 2;
         }
     }
@@ -155,6 +256,8 @@ int main(int argc, char** argv) {
     std::printf("%s: %zu events retained (%llu recorded, %llu lost to wraparound), %.3f s span\n",
                 path, events.size(), static_cast<unsigned long long>(recorded),
                 static_cast<unsigned long long>(dropped), span_s);
+
+    if (faults_mode) return faults_summary(events);
 
     if (dump_events) {
         for (const Event& e : events) {
