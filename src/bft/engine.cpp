@@ -47,6 +47,20 @@ bool InstanceEngine::in_watermarks(SeqNum seq) const noexcept {
            raw(seq) <= raw(last_stable_) + config_.watermark_window;
 }
 
+std::uint32_t InstanceEngine::effective_prepare_quorum() const noexcept {
+    if (config_.test_faults.prepare_quorum_override > 0) {
+        return config_.test_faults.prepare_quorum_override;
+    }
+    return prepare_quorum(config_.f);
+}
+
+std::uint32_t InstanceEngine::effective_commit_quorum() const noexcept {
+    if (config_.test_faults.commit_quorum_override > 0) {
+        return config_.test_faults.commit_quorum_override;
+    }
+    return commit_quorum(config_.f);
+}
+
 Duration InstanceEngine::oldest_waiting_age() const {
     for (const auto& [key, since] : waiting_fifo_) {
         if (!ordered_keys_.contains(key)) return simulator_.now() - since;
@@ -207,7 +221,30 @@ void InstanceEngine::form_and_send_preprepare(std::vector<RequestRef> batch) {
         next_pp_allowed_ = simulator_.now() + behavior_.inter_batch_gap;
     }
 
-    broadcast(pp, Duration{});
+    if (config_.test_faults.equivocate_mask != 0 && !pp->batch.empty()) {
+        // Planted equivocation (test-only): masked peers receive a variant
+        // PRE-PREPARE for the same (view, seq) whose batch has the first
+        // request duplicated — same cleared requests, different content
+        // fingerprint — while everyone else gets the original.
+        auto variant = std::make_shared<PrePrepareMsg>(*pp);
+        variant->batch.push_back(variant->batch.front());
+        variant->batch_digest = batch_digest(variant->batch);
+        if (config_.order_full_requests) {
+            variant->embedded_payload_bytes += variant->batch.back().payload_bytes;
+        }
+        variant->auth = crypto::make_authenticator(
+            keys_, crypto::Principal::node(config_.node), config_.n,
+            BytesView(variant->batch_digest.bytes.data(), variant->batch_digest.bytes.size()));
+        for (std::uint32_t i = 0; i < config_.n; ++i) {
+            const NodeId dest{i};
+            if (dest == config_.node) continue;
+            core_.charge(simulator_, costs_.send_overhead);
+            const bool masked = (config_.test_faults.equivocate_mask >> i) & 1ULL;
+            host_.engine_send(config_.instance, dest, masked ? variant : pp);
+        }
+    } else {
+        broadcast(pp, Duration{});
+    }
     accept_pre_prepare(*pp);
     maybe_send_batch();  // more pending requests may already justify a batch
 }
@@ -361,7 +398,7 @@ void InstanceEngine::handle_phase(NodeId from, const PhaseMsg& m) {
 void InstanceEngine::try_prepare(SeqNum seq) {
     Slot& s = slot(seq);
     if (!s.pre_prepare.has_value() || s.sent_commit) return;
-    if (s.prepares.size() < prepare_quorum(config_.f)) return;
+    if (s.prepares.size() < effective_prepare_quorum()) return;
 
     auto commit = std::make_shared<PhaseMsg>();
     commit->phase = PhaseMsg::Phase::kCommit;
@@ -377,7 +414,7 @@ void InstanceEngine::try_prepare(SeqNum seq) {
                                  costs_.authenticator_ops(config_.n));
     s.sent_commit = true;
     s.commits.insert(config_.node);
-    if (recorder_ && recorder_->tracing()) {
+    if (recorder_ && recorder_->observing()) {
         recorder_->event({simulator_.now(), obs::EventType::kPrepared, raw(config_.node),
                           raw(config_.instance), raw(seq), raw(s.pre_prepare->view), 0.0});
     }
@@ -388,9 +425,9 @@ void InstanceEngine::try_prepare(SeqNum seq) {
 void InstanceEngine::try_commit(SeqNum seq) {
     Slot& s = slot(seq);
     if (!s.sent_commit || s.committed) return;
-    if (s.commits.size() < commit_quorum(config_.f)) return;
+    if (s.commits.size() < effective_commit_quorum()) return;
     s.committed = true;
-    if (recorder_ && recorder_->tracing()) {
+    if (recorder_ && recorder_->observing()) {
         recorder_->event({simulator_.now(), obs::EventType::kCommitted, raw(config_.node),
                           raw(config_.instance), raw(seq),
                           raw(s.pre_prepare ? s.pre_prepare->view : view_), 0.0});
@@ -433,6 +470,24 @@ void InstanceEngine::try_deliver() {
             recorder_->event({simulator_.now(), obs::EventType::kBatchDelivered,
                               raw(config_.node), raw(config_.instance), raw(batch.seq),
                               batch.requests.size(), order_latency});
+        }
+        if (recorder_ && recorder_->observing()) {
+            // Content fingerprint of what was delivered at this sequence
+            // number (FNV-1a over the request identities, the same formula
+            // the node uses for its commit log) — the agreement oracle's
+            // input.
+            std::uint64_t h = 1469598103934665603ULL;
+            const auto mix = [&h](std::uint64_t v) {
+                h ^= v;
+                h *= 1099511628211ULL;
+            };
+            for (const auto& ref : batch.requests) {
+                mix(raw(ref.client));
+                mix(raw(ref.rid));
+            }
+            recorder_->event({simulator_.now(), obs::EventType::kBatchFingerprint,
+                              raw(config_.node), raw(config_.instance), raw(batch.seq), h,
+                              static_cast<double>(raw(batch.view))});
         }
 
         next_deliver_ = next(next_deliver_);
@@ -556,6 +611,11 @@ void InstanceEngine::advance_stable(SeqNum seq) {
     if (it == checkpoint_votes_.end()) return;
     if (it->second.size() < commit_quorum(config_.f)) return;
     if (raw(seq) <= raw(last_stable_)) return;
+    if (recorder_ && recorder_->observing()) {
+        recorder_->event({simulator_.now(), obs::EventType::kCheckpointStable,
+                          raw(config_.node), raw(config_.instance), raw(seq),
+                          it->second.size(), 0.0});
+    }
     last_stable_ = seq;
     slots_.erase(slots_.begin(), slots_.upper_bound(raw(seq)));
     checkpoint_votes_.erase(checkpoint_votes_.begin(),
@@ -671,7 +731,7 @@ void InstanceEngine::start_view_change(ViewId target) {
     vc_target_ = target;
     vc_started_at_ = simulator_.now();
     sent_new_view_ = false;
-    if (recorder_ && recorder_->tracing()) {
+    if (recorder_ && recorder_->observing()) {
         recorder_->event({simulator_.now(), obs::EventType::kViewChangeStart, raw(config_.node),
                           raw(config_.instance), raw(target), 0, 0.0});
     }

@@ -38,6 +38,28 @@
 
 namespace rbft::bft {
 
+/// Test-only correctness faults, used by src/check to plant violations the
+/// invariant oracles must catch.  A production configuration keeps the
+/// defaults (all knobs off); nothing in the protocol paths reads these
+/// unless explicitly set.
+struct EngineTestFaults {
+    /// Bit i set ⇒ when this replica acts as primary it sends node i an
+    /// *equivocating* PRE-PREPARE: same (view, seq) but a different batch
+    /// (the first request duplicated), with a recomputed digest.  Unmasked
+    /// peers and the primary itself keep the original batch.
+    std::uint64_t equivocate_mask = 0;
+    /// Overrides for the PREPARE / COMMIT quorum sizes (0 = protocol
+    /// default).  Weakening these below 2f / 2f+1 lets an equivocating
+    /// primary split the cluster — the agreement-oracle fixture.
+    std::uint32_t prepare_quorum_override = 0;
+    std::uint32_t commit_quorum_override = 0;
+
+    [[nodiscard]] bool any() const noexcept {
+        return equivocate_mask != 0 || prepare_quorum_override != 0 ||
+               commit_quorum_override != 0;
+    }
+};
+
 struct EngineConfig {
     InstanceId instance{};
     NodeId node{};
@@ -79,6 +101,9 @@ struct EngineConfig {
     /// (receivers dedupe).  Recovers quorums interrupted by partitions or
     /// message loss.  Zero disables (seed behavior).
     Duration retry_interval{};
+
+    /// Planted correctness faults for oracle tests (defaults = correct).
+    EngineTestFaults test_faults{};
 };
 
 /// Byzantine-primary levers used by the attack experiments.  A correct
@@ -254,6 +279,10 @@ private:
         return count * RequestRef::kWireBytes;
     }
     [[nodiscard]] bool in_watermarks(SeqNum seq) const noexcept;
+    // Quorum sizes, honoring the test-only overrides (checkpoint and
+    // view-change quorums always use the real 2f+1).
+    [[nodiscard]] std::uint32_t effective_prepare_quorum() const noexcept;
+    [[nodiscard]] std::uint32_t effective_commit_quorum() const noexcept;
     [[nodiscard]] std::uint32_t effective_batch_max() const noexcept {
         if (behavior_.batch_cap > 0 && behavior_.batch_cap < config_.batch_max) {
             return behavior_.batch_cap;

@@ -1,0 +1,193 @@
+#include "check/artifact.hpp"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <istream>
+
+namespace rbft::check {
+
+namespace {
+
+void append_fmt(std::string& out, const char* fmt, ...) {
+    char buf[256];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buf, sizeof buf, fmt, args);
+    va_end(args);
+    out += buf;
+}
+
+/// Keeps the detail line single-line and quote-free so the line scanner
+/// stays trivial.
+std::string sanitize(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"') {
+            out += '\'';
+        } else if (c == '\n' || c == '\r') {
+            out += ' ';
+        } else if (c == '\\') {
+            out += '/';
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+/// Position of the value of `"field": ` in `line`, or npos.
+std::size_t field_pos(const std::string& line, const char* field) {
+    const std::string needle = std::string("\"") + field + "\": ";
+    const std::size_t at = line.find(needle);
+    return at == std::string::npos ? std::string::npos : at + needle.size();
+}
+
+bool find_u64(const std::string& line, const char* field, std::uint64_t& out) {
+    const std::size_t at = field_pos(line, field);
+    if (at == std::string::npos) return false;
+    out = std::strtoull(line.c_str() + at, nullptr, 10);
+    return true;
+}
+
+bool find_i64(const std::string& line, const char* field, std::int64_t& out) {
+    const std::size_t at = field_pos(line, field);
+    if (at == std::string::npos) return false;
+    out = std::strtoll(line.c_str() + at, nullptr, 10);
+    return true;
+}
+
+bool find_double(const std::string& line, const char* field, double& out) {
+    const std::size_t at = field_pos(line, field);
+    if (at == std::string::npos) return false;
+    out = std::strtod(line.c_str() + at, nullptr);
+    return true;
+}
+
+bool find_string(const std::string& line, const char* field, std::string& out) {
+    std::size_t at = field_pos(line, field);
+    if (at == std::string::npos || at >= line.size() || line[at] != '"') return false;
+    ++at;
+    const std::size_t close = line.find('"', at);
+    if (close == std::string::npos) return false;
+    out = line.substr(at, close - at);
+    return true;
+}
+
+}  // namespace
+
+std::string to_json(const ViolationArtifact& artifact) {
+    const ExploreScenario& sc = artifact.scenario;
+    std::string out;
+    out += "{\n";
+    out += "\"artifact\": \"rbft-check-violation\",\n";
+    out += "\"version\": 1,\n";
+    append_fmt(out, "\"seed\": %" PRIu64 ",\n", artifact.seed);
+    append_fmt(out, "\"f\": %u,\n", sc.f);
+    append_fmt(out, "\"duration_ns\": %" PRId64 ",\n", sc.duration.ns);
+    append_fmt(out, "\"clients\": %u,\n", sc.clients);
+    append_fmt(out, "\"think_ns\": %" PRId64 ",\n", sc.think_time.ns);
+    append_fmt(out, "\"payload_bytes\": %zu,\n", sc.payload_bytes);
+    append_fmt(out, "\"checkpoint_interval\": %" PRIu64 ",\n", sc.checkpoint_interval);
+    append_fmt(out, "\"retry_ns\": %" PRId64 ",\n", sc.engine_retry_interval.ns);
+    append_fmt(out, "\"retransmit_ns\": %" PRId64 ",\n", sc.retransmit_timeout.ns);
+    append_fmt(out, "\"max_perturbations\": %u,\n", sc.max_perturbations);
+    append_fmt(out, "\"equivocate_mask\": %" PRIu64 ",\n", sc.test_faults.equivocate_mask);
+    append_fmt(out, "\"prepare_quorum_override\": %u,\n",
+               sc.test_faults.prepare_quorum_override);
+    append_fmt(out, "\"commit_quorum_override\": %u,\n", sc.test_faults.commit_quorum_override);
+    append_fmt(out, "\"check_monitoring\": %d,\n", sc.check_monitoring ? 1 : 0);
+    append_fmt(out, "\"oracle\": \"%s\",\n", oracle_name(artifact.oracle));
+    out += "\"detail\": \"" + sanitize(artifact.detail) + "\",\n";
+    out += "\"perturbations\": [\n";
+    for (std::size_t i = 0; i < artifact.schedule.size(); ++i) {
+        const Perturbation& p = artifact.schedule[i];
+        append_fmt(out,
+                   "{\"kind\": %u, \"a\": %u, \"b\": %u, \"at_ns\": %" PRId64
+                   ", \"until_ns\": %" PRId64 ", \"p\": %.17g, \"delay_ns\": %" PRId64 "}%s\n",
+                   static_cast<unsigned>(p.kind), p.a, p.b, p.at_ns, p.until_ns, p.p,
+                   p.delay_ns, i + 1 < artifact.schedule.size() ? "," : "");
+    }
+    out += "],\n";
+    append_fmt(out, "\"perturbation_count\": %zu\n", artifact.schedule.size());
+    out += "}\n";
+    return out;
+}
+
+bool parse_artifact(std::istream& in, ViolationArtifact& out) {
+    out = ViolationArtifact{};
+    bool header_seen = false;
+    bool oracle_seen = false;
+    bool count_seen = false;
+    std::uint64_t declared_count = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        std::string str;
+        if (find_string(line, "artifact", str)) {
+            if (str != "rbft-check-violation") return false;
+            header_seen = true;
+            continue;
+        }
+        std::uint64_t kind_raw = 0;
+        if (find_u64(line, "kind", kind_raw)) {
+            // One perturbation object per line.
+            if (kind_raw > 3) return false;
+            Perturbation p;
+            p.kind = static_cast<Perturbation::Kind>(kind_raw);
+            std::uint64_t u = 0;
+            if (find_u64(line, "a", u)) p.a = static_cast<std::uint32_t>(u);
+            if (find_u64(line, "b", u)) p.b = static_cast<std::uint32_t>(u);
+            (void)find_i64(line, "at_ns", p.at_ns);
+            (void)find_i64(line, "until_ns", p.until_ns);
+            (void)find_double(line, "p", p.p);
+            (void)find_i64(line, "delay_ns", p.delay_ns);
+            out.schedule.push_back(p);
+            continue;
+        }
+        std::uint64_t u = 0;
+        std::int64_t i = 0;
+        if (find_u64(line, "seed", u)) out.seed = u;
+        if (find_u64(line, "f", u)) out.scenario.f = static_cast<std::uint32_t>(u);
+        if (find_i64(line, "duration_ns", i)) out.scenario.duration = Duration{i};
+        if (find_u64(line, "clients", u)) out.scenario.clients = static_cast<std::uint32_t>(u);
+        if (find_i64(line, "think_ns", i)) out.scenario.think_time = Duration{i};
+        if (find_u64(line, "payload_bytes", u)) out.scenario.payload_bytes = u;
+        if (find_u64(line, "checkpoint_interval", u)) out.scenario.checkpoint_interval = u;
+        if (find_i64(line, "retry_ns", i)) out.scenario.engine_retry_interval = Duration{i};
+        if (find_i64(line, "retransmit_ns", i)) out.scenario.retransmit_timeout = Duration{i};
+        if (find_u64(line, "max_perturbations", u)) {
+            out.scenario.max_perturbations = static_cast<std::uint32_t>(u);
+        }
+        if (find_u64(line, "equivocate_mask", u)) out.scenario.test_faults.equivocate_mask = u;
+        if (find_u64(line, "prepare_quorum_override", u)) {
+            out.scenario.test_faults.prepare_quorum_override = static_cast<std::uint32_t>(u);
+        }
+        if (find_u64(line, "commit_quorum_override", u)) {
+            out.scenario.test_faults.commit_quorum_override = static_cast<std::uint32_t>(u);
+        }
+        if (find_u64(line, "check_monitoring", u)) out.scenario.check_monitoring = u != 0;
+        if (find_string(line, "oracle", str)) oracle_seen = oracle_from_name(str, out.oracle);
+        (void)find_string(line, "detail", out.detail);
+        if (find_u64(line, "perturbation_count", u)) {
+            declared_count = u;
+            count_seen = true;
+        }
+    }
+    if (!header_seen || !oracle_seen) return false;
+    if (count_seen && declared_count != out.schedule.size()) return false;
+    return true;
+}
+
+bool reproduces(const ViolationArtifact& artifact) {
+    const ScheduleResult result =
+        run_schedule(artifact.scenario, artifact.seed, artifact.schedule);
+    for (const Violation& v : result.violations) {
+        if (v.oracle == artifact.oracle) return true;
+    }
+    return false;
+}
+
+}  // namespace rbft::check

@@ -1,0 +1,27 @@
+// Replayable violation artifacts: a minimal failing schedule (scenario
+// parameters + seed + shrunk perturbation set + the violated oracle)
+// serialized as deterministic line-oriented JSON.  Two same-seed explorer
+// runs emit byte-identical artifacts; `tools/trace_inspect replay` parses
+// one and re-executes the schedule to confirm the violation reproduces.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "check/explore.hpp"
+
+namespace rbft::check {
+
+/// Deterministic serialization (stable field order, "%.17g" doubles, one
+/// perturbation object per line).
+[[nodiscard]] std::string to_json(const ViolationArtifact& artifact);
+
+/// Parses an artifact produced by to_json().  Returns false on malformed
+/// input (missing header or required fields).
+[[nodiscard]] bool parse_artifact(std::istream& in, ViolationArtifact& out);
+
+/// Re-runs the artifact's schedule and reports whether the recorded oracle
+/// trips again (deterministic: same artifact ⇒ same answer).
+[[nodiscard]] bool reproduces(const ViolationArtifact& artifact);
+
+}  // namespace rbft::check

@@ -126,6 +126,11 @@ ChaosSoakOutput run_chaos_soak(const ChaosSoakScenario& scenario) {
         twin.recorder = nullptr;  // keep the faulty run's trace clean
         const ChaosSoakOutput base = run_one(twin, {});
         out.baseline_tail_kreq_s = base.tail_kreq_s;
+        out.baseline_completed = base.completed;
+        out.baseline_progressed = base.completed > 0 && base.tail_kreq_s > 0.0;
+        out.liveness_ok = out.baseline_progressed &&
+                          liveness_recovered(out.tail_kreq_s, out.baseline_tail_kreq_s,
+                                             scenario.liveness_factor);
     }
     return out;
 }

@@ -46,6 +46,9 @@ struct ChaosSoakScenario {
     Duration engine_retry_interval = milliseconds(50.0);
     /// Small checkpoint interval so recovering replicas catch up quickly.
     std::uint64_t checkpoint_interval = 32;
+    /// Liveness bound: tail throughput must recover to within this factor
+    /// of the fault-free twin (tail * factor >= baseline).
+    double liveness_factor = 2.0;
     /// false = fault-free twin (used internally for the liveness baseline,
     /// and by callers that want the baseline output).
     bool inject = true;
@@ -66,6 +69,15 @@ struct ChaosSoakOutput {
     double tail_kreq_s = 0.0;
     /// Same window, identically-seeded fault-free twin (0 if inject=false).
     double baseline_tail_kreq_s = 0.0;
+    /// Completions of the fault-free twin over its whole run.
+    std::uint64_t baseline_completed = 0;
+    /// True iff the twin made real progress (completions and nonzero tail
+    /// throughput).  Guards the liveness comparison against a vacuous
+    /// 0-vs-0 pass when the baseline itself stalls.
+    bool baseline_progressed = false;
+    /// Combined liveness verdict: the twin progressed AND the faulty run's
+    /// tail recovered to within scenario.liveness_factor of it.
+    bool liveness_ok = false;
     std::uint64_t faults_applied = 0;
     std::uint64_t crashes = 0;
     std::uint64_t restarts = 0;
@@ -77,6 +89,16 @@ struct ChaosSoakOutput {
     fault::FaultPlan plan;
     std::shared_ptr<obs::Recorder> recorder;
 };
+
+/// Liveness verdict for a tail-vs-baseline comparison.  A baseline that
+/// made no progress is never a pass: 0 vs 0 means "liveness unmeasurable",
+/// not "liveness held".
+[[nodiscard]] constexpr bool liveness_recovered(double tail_kreq_s,
+                                                double baseline_tail_kreq_s,
+                                                double factor) noexcept {
+    if (baseline_tail_kreq_s <= 0.0) return false;
+    return tail_kreq_s * factor >= baseline_tail_kreq_s;
+}
 
 /// Runs the soak (and, when scenario.inject, an identically-seeded
 /// fault-free twin for the liveness baseline).

@@ -52,7 +52,7 @@ void FaultInjector::apply(const FaultEvent& e) {
 }
 
 void FaultInjector::trace(obs::EventType type, std::uint64_t a, std::uint64_t b, double x) {
-    if (!recorder_ || !recorder_->tracing()) return;
+    if (!recorder_ || !recorder_->observing()) return;
     recorder_->event(
         {cluster_.simulator().now(), type, obs::kNoNode, obs::kNoInstance, a, b, x});
 }

@@ -97,7 +97,7 @@ void Network::count_fault_drop(Address from, Address to, std::uint64_t reason) {
     ++fault_dropped_;
     if (fault_drop_counter_) fault_drop_counter_->add();
     if (Nic* rx = find_rx_nic(to, from)) rx->count_drop();
-    if (recorder_ && recorder_->tracing() && to.kind == Address::Kind::kNode) {
+    if (recorder_ && recorder_->observing() && to.kind == Address::Kind::kNode) {
         recorder_->event({simulator_.now(), obs::EventType::kMessageDropped, to.index,
                           obs::kNoInstance, channel_key(from, to) >> 32, reason, 0.0});
     }
@@ -185,7 +185,7 @@ void Network::send(Address from, Address to, MessagePtr message) {
     if (loss > 0.0 && rng_.next_bool(loss)) {
         if (lost_counter_) lost_counter_->add();
         if (Nic* rx = find_rx_nic(to, from)) rx->count_drop();
-        if (recorder_ && recorder_->tracing() && to.kind == Address::Kind::kNode) {
+        if (recorder_ && recorder_->observing() && to.kind == Address::Kind::kNode) {
             recorder_->event({simulator_.now(), obs::EventType::kMessageDropped, to.index,
                               obs::kNoInstance, channel_key(from, to) >> 32, obs::kDropLoss, 0.0});
         }
@@ -236,7 +236,7 @@ void Network::deliver(Address from, Address to, const MessagePtr& message, std::
             if (rx.closed(arrival)) {
                 rx.count_drop();
                 if (closed_drop_counter_) closed_drop_counter_->add();
-                if (recorder_ && recorder_->tracing()) {
+                if (recorder_ && recorder_->observing()) {
                     recorder_->event({arrival, obs::EventType::kMessageDropped, to.index,
                                       obs::kNoInstance, channel_key(from, to) >> 32, obs::kDropClosedNic,
                                       0.0});
@@ -246,7 +246,7 @@ void Network::deliver(Address from, Address to, const MessagePtr& message, std::
             const TimePoint ready = rx.serialize(arrival, bytes);
             // Sampled NIC queue-depth reading: backlog the arriving message
             // observed on the receive NIC, in nanoseconds.
-            if (recorder_ && recorder_->tracing() && (++nic_sample_seq_ % kNicSampleStride) == 0) {
+            if (recorder_ && recorder_->observing() && (++nic_sample_seq_ % kNicSampleStride) == 0) {
                 recorder_->event({arrival, obs::EventType::kNicSample, to.index, obs::kNoInstance,
                                   static_cast<std::uint64_t>((ready - arrival).ns),
                                   channel_key(from, to) >> 32, 0.0});

@@ -14,8 +14,10 @@
 // bit-identical files.
 #pragma once
 
+#include <functional>
 #include <iosfwd>
 #include <string>
+#include <utility>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -37,10 +39,27 @@ public:
     [[nodiscard]] TraceRing& trace() noexcept { return trace_; }
     [[nodiscard]] const TraceRing& trace() const noexcept { return trace_; }
 
-    /// Records a trace event iff tracing is enabled.  The hot-path guard
-    /// callers should use is `if (rec && rec->tracing())`, but calling
+    /// Installs (or clears, with an empty function) a synchronous listener
+    /// that sees every event in emission order, independent of the trace
+    /// ring and its wraparound.  Online invariant oracles (src/check) hook
+    /// in here.
+    void set_listener(std::function<void(const TraceEvent&)> listener) {
+        listener_ = std::move(listener);
+    }
+
+    /// True when anything consumes events — either the flight recorder is
+    /// on or a listener is installed.  Instrumentation sites should guard
+    /// event construction with `if (rec && rec->observing())`.
+    [[nodiscard]] bool observing() const noexcept {
+        return tracing_ || static_cast<bool>(listener_);
+    }
+
+    /// Dispatches a trace event to the listener (if any) and records it in
+    /// the flight recorder iff tracing is enabled.  The hot-path guard
+    /// callers should use is `if (rec && rec->observing())`, but calling
     /// unconditionally is safe.
     void event(const TraceEvent& e) {
+        if (listener_) listener_(e);
         if (tracing_) trace_.record(e);
     }
 
@@ -57,6 +76,7 @@ private:
     MetricsRegistry metrics_;
     TraceRing trace_{0};  // re-made with real capacity by enable_trace()
     bool tracing_ = false;
+    std::function<void(const TraceEvent&)> listener_;
 };
 
 /// Directory requested via the RBFT_OBS_DIR environment variable, or

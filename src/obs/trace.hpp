@@ -29,6 +29,8 @@ enum class EventType : std::uint8_t {
     kPrepared,            // a = seq, b = view
     kCommitted,           // a = seq, b = view
     kBatchDelivered,      // a = seq, b = requests in batch, x = order latency (s)
+    kBatchFingerprint,    // a = seq, b = FNV-1a over the batch's (client, rid) pairs, x = view
+    kCheckpointStable,    // a = stable seq, b = checkpoint votes held
     // View / protocol-instance management.
     kViewChangeStart,      // a = target view
     kViewInstalled,        // a = installed view
@@ -79,6 +81,8 @@ enum : std::uint64_t {
         case EventType::kPrepared: return "prepared";
         case EventType::kCommitted: return "committed";
         case EventType::kBatchDelivered: return "batch_delivered";
+        case EventType::kBatchFingerprint: return "batch_fingerprint";
+        case EventType::kCheckpointStable: return "checkpoint_stable";
         case EventType::kViewChangeStart: return "view_change_start";
         case EventType::kViewInstalled: return "view_installed";
         case EventType::kInstanceChangeVote: return "instance_change_vote";

@@ -69,7 +69,7 @@ void BaselineNode::on_message(net::Address from, const net::MessagePtr& m) {
             ++stats_.requests_verified;
             if (ctr_requests_verified_) {
                 ctr_requests_verified_->add();
-                if (recorder_->tracing()) {
+                if (recorder_->observing()) {
                     recorder_->event({simulator_.now(), obs::EventType::kRequestReceived,
                                       raw(config_.id), obs::kNoInstance, raw(req->client),
                                       raw(req->rid), 0.0});

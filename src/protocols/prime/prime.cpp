@@ -119,7 +119,7 @@ void PrimeNode::handle_request(std::shared_ptr<const bft::RequestMsg> req) {
         ++stats_.requests_received;
         if (ctr_requests_received_) {
             ctr_requests_received_->add();
-            if (recorder_->tracing()) {
+            if (recorder_->observing()) {
                 recorder_->event({simulator_.now(), obs::EventType::kRequestReceived,
                                   raw(config_.id), obs::kNoInstance, raw(req->client),
                                   raw(req->rid), 0.0});
@@ -385,7 +385,7 @@ void PrimeNode::rotate_primary() {
     ++stats_.rotations;
     if (ctr_rotations_) {
         ctr_rotations_->add();
-        if (recorder_->tracing()) {
+        if (recorder_->observing()) {
             recorder_->event({simulator_.now(), obs::EventType::kViewInstalled, raw(config_.id),
                               obs::kNoInstance, rotation_round_, 0, 0.0});
         }

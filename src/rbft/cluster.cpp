@@ -26,6 +26,7 @@ Cluster::Cluster(ClusterConfig config, ServiceFactory service_factory)
         nc.monitoring = config_.monitoring;
         nc.flood_defense = config_.flood_defense;
         nc.instances_override = config_.instances_override;
+        nc.engine_test_faults = config_.engine_test_faults;
         nc.recorder = config_.recorder;
         nodes_.push_back(std::make_unique<Node>(nc, simulator_, *network_, keys_,
                                                 config_.costs, service_factory()));

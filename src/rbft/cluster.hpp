@@ -38,6 +38,8 @@ struct ClusterConfig {
     crypto::CostModel costs{};
     /// 0 = f+1 instances (see NodeConfig::instances_override).
     std::uint32_t instances_override = 0;
+    /// Planted engine faults for oracle tests (defaults = correct engines).
+    bft::EngineTestFaults engine_test_faults{};
     /// Observability sink shared by the simulator, network and every node
     /// (must outlive the cluster); null = observability disabled.
     obs::Recorder* recorder = nullptr;

@@ -37,6 +37,24 @@ public:
         w.u32(static_cast<std::uint32_t>(auth.macs.size()));
         for (const auto& m : auth.macs) w.raw(BytesView(m.bytes.data(), m.bytes.size()));
     }
+
+    static PropagateMsg decode(net::WireReader& r) {
+        PropagateMsg m;
+        m.request = std::make_shared<bft::RequestMsg>(bft::RequestMsg::decode(r));
+        m.sender = NodeId{r.u32()};
+        // The authenticator principal is not on the wire (it is implied by
+        // the sender field); the MAC vector is bounded by what is left so
+        // malformed input cannot force a huge alloc.
+        m.auth.sender = crypto::Principal::node(m.sender);
+        const std::uint32_t count = r.u32();
+        if (static_cast<std::size_t>(count) * 16 <= r.remaining()) {
+            m.auth.macs.resize(count);
+            for (auto& mac : m.auth.macs) {
+                for (auto& byte : mac.bytes) byte = r.u8();
+            }
+        }
+        return m;
+    }
 };
 
 /// 〈INSTANCE_CHANGE, cpi, i〉~μi — vote to replace every instance's primary.
@@ -61,6 +79,21 @@ public:
         w.u32(raw(sender));
         w.u32(static_cast<std::uint32_t>(auth.macs.size()));
         for (const auto& m : auth.macs) w.raw(BytesView(m.bytes.data(), m.bytes.size()));
+    }
+
+    static InstanceChangeMsg decode(net::WireReader& r) {
+        InstanceChangeMsg m;
+        m.cpi = r.u64();
+        m.sender = NodeId{r.u32()};
+        m.auth.sender = crypto::Principal::node(m.sender);
+        const std::uint32_t count = r.u32();
+        if (static_cast<std::size_t>(count) * 16 <= r.remaining()) {
+            m.auth.macs.resize(count);
+            for (auto& mac : m.auth.macs) {
+                for (auto& byte : mac.bytes) byte = r.u8();
+            }
+        }
+        return m;
     }
 };
 

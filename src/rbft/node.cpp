@@ -64,6 +64,7 @@ void Node::make_engines(bool recovering) {
         ec.retry_interval = config_.engine_retry_interval;
         ec.recovering = recovering;
         ec.recorder = config_.recorder;
+        ec.test_faults = config_.engine_test_faults;
         engines_.push_back(std::make_unique<bft::InstanceEngine>(
             ec, simulator_, replica_core(InstanceId{i}), keys_, costs_, *this));
     }
@@ -84,7 +85,7 @@ void Node::crash() {
     // Retire (do not destroy) the replicas: pending simulator and CPU
     // callbacks still reference them; retired replicas never act again.
     for (auto& engine : engines_) engine->retire();
-    if (recorder_ && recorder_->tracing()) {
+    if (recorder_ && recorder_->observing()) {
         recorder_->event({simulator_.now(), obs::EventType::kNodeCrashed, raw(config_.id),
                           obs::kNoInstance, 0, 0, 0.0});
     }
@@ -125,7 +126,7 @@ void Node::restart() {
     crashed_ = false;
     ++stats_.restarts;
     monitor_timer_.start(simulator_, config_.monitoring.period, [this] { monitoring_tick(); });
-    if (recorder_ && recorder_->tracing()) {
+    if (recorder_ && recorder_->observing()) {
         recorder_->event({simulator_.now(), obs::EventType::kNodeRestarted, raw(config_.id),
                           obs::kNoInstance, 0, 0, 0.0});
     }
@@ -243,7 +244,7 @@ void Node::verification_receive(net::Address from,
     if (blacklisted_clients_.contains(req->client)) return;
     if (ctr_requests_received_) {
         ctr_requests_received_->add();
-        if (recorder_->tracing()) {
+        if (recorder_->observing()) {
             recorder_->event({simulator_.now(), obs::EventType::kRequestReceived,
                               raw(config_.id), obs::kNoInstance, raw(req->client),
                               raw(req->rid), 0.0});
@@ -318,7 +319,7 @@ void Node::verification_receive(net::Address from,
         if (ctr_sig_verifies_) {
             ctr_sig_verifies_->add();
             ctr_crypto_ns_->add(static_cast<std::uint64_t>(costs_.sig_verify_op.ns));
-            if (recorder_->tracing()) {
+            if (recorder_->observing()) {
                 recorder_->event({simulator_.now(), obs::EventType::kCryptoCharge,
                                   raw(config_.id), obs::kNoInstance, 1, 0,
                                   costs_.sig_verify_op.seconds()});
@@ -448,7 +449,7 @@ void Node::dispatch(const RequestKey& key) {
     if (state.dispatched || !state.request) return;
     state.dispatched = true;
     state.dispatch_time = simulator_.now();
-    if (recorder_ && recorder_->tracing()) {
+    if (recorder_ && recorder_->observing()) {
         recorder_->event({simulator_.now(), obs::EventType::kRequestDispatched, raw(config_.id),
                           obs::kNoInstance, raw(key.client), raw(key.rid), 0.0});
     }
@@ -538,7 +539,7 @@ void Node::execute(const bft::RequestRef& ref) {
         ++stats_.requests_executed;
         if (ctr_requests_executed_) {
             ctr_requests_executed_->add();
-            if (recorder_->tracing()) {
+            if (recorder_->observing()) {
                 recorder_->event({simulator_.now(), obs::EventType::kRequestExecuted,
                                   raw(config_.id), obs::kNoInstance, raw(key.client),
                                   raw(key.rid), 0.0});
@@ -599,7 +600,7 @@ void Node::monitoring_tick() {
     if (backup_mean <= 0.0) {
         // No backup progress: either system idle (handled above) or the
         // backups are under attack; nothing to compare against.
-        if (recorder_ && recorder_->tracing()) {
+        if (recorder_ && recorder_->observing()) {
             recorder_->event({simulator_.now(), obs::EventType::kMonitorVerdict,
                               raw(config_.id), obs::kNoInstance, total,
                               obs::kVerdictNotJudged, 0.0});
@@ -610,7 +611,7 @@ void Node::monitoring_tick() {
 
     const double ratio = master_tps / backup_mean;
     const bool below_delta = ratio < config_.monitoring.delta;
-    if (recorder_ && recorder_->tracing()) {
+    if (recorder_ && recorder_->observing()) {
         // Monitoring verdict: the observed master/backup throughput ratio
         // judged against Δ — the heart of §IV-C, recorded every period.
         const std::uint64_t verdict =

@@ -108,6 +108,9 @@ struct NodeConfig {
     /// bench (e.g. 2f+1 instances).
     std::uint32_t instances_override = 0;
 
+    /// Planted engine faults for oracle tests (defaults = correct engines).
+    bft::EngineTestFaults engine_test_faults{};
+
     [[nodiscard]] std::uint32_t instance_count() const noexcept {
         return instances_override > 0 ? instances_override : f + 1;
     }
@@ -132,6 +135,9 @@ struct NodeStats {
 
 class Node final : public bft::EngineHost {
 public:
+    /// Why a node voted INSTANCE_CHANGE (recorded in the trace).
+    enum class IcReason : std::uint64_t { kThroughput = 0, kLambda = 1, kOmega = 2, kJoin = 3 };
+
     Node(NodeConfig config, sim::Simulator& simulator, net::Network& network,
          const crypto::KeyStore& keys, const crypto::CostModel& costs,
          std::unique_ptr<Service> service);
@@ -254,8 +260,6 @@ private:
     void send_reply(ClientId client, const bft::ReplyMsg& reply);
 
     // Monitoring.
-    /// Why a node voted INSTANCE_CHANGE (recorded in the trace).
-    enum class IcReason : std::uint64_t { kThroughput = 0, kLambda = 1, kOmega = 2, kJoin = 3 };
     void monitoring_tick();
     void latency_check(InstanceId instance, const bft::RequestRef& ref, Duration latency);
     void vote_instance_change(IcReason reason);

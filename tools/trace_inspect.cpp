@@ -4,6 +4,7 @@
 // scanner is sufficient and keeps the tool dependency-free.
 //
 //   trace_inspect <trace.json> [faults] [--events] [--type <name>] [--node <id>]
+//   trace_inspect replay <violation.json>
 //
 // Prints: per-protocol-instance ordering rate and phase latencies
 // (pre-prepare -> prepared -> committed -> delivered), the protocol-instance
@@ -15,6 +16,10 @@
 // degradation as emitted by fault::FaultInjector), the view / instance
 // changes observed in response, and — for every clearing event — the time
 // until the master instance delivered its next batch (recovery lag).
+//
+// The `replay` subcommand re-runs a violation artifact written by the
+// schedule explorer (check::explore / tools/check_explore) and reports
+// whether the recorded oracle violation reproduces.  Exit 0 = reproduced.
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -25,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "check/artifact.hpp"
 #include "common/histogram.hpp"
 #include "obs/trace.hpp"
 
@@ -188,6 +194,40 @@ int faults_summary(const std::vector<Event>& events) {
     return 0;
 }
 
+/// `replay` subcommand: re-runs a violation artifact and checks that the
+/// recorded oracle still fires on the recorded (seed, schedule).
+int replay_artifact(const char* path) {
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "trace_inspect: cannot open %s\n", path);
+        return 1;
+    }
+    rbft::check::ViolationArtifact artifact;
+    if (!rbft::check::parse_artifact(in, artifact)) {
+        std::fprintf(stderr, "trace_inspect: %s is not a valid violation artifact\n", path);
+        return 2;
+    }
+    std::printf("%s: oracle=%s seed=%llu perturbations=%zu\n", path,
+                rbft::check::oracle_name(artifact.oracle),
+                static_cast<unsigned long long>(artifact.seed), artifact.schedule.size());
+    std::printf("recorded detail: %s\n", artifact.detail.c_str());
+    const rbft::check::ScheduleResult result =
+        rbft::check::run_schedule(artifact.scenario, artifact.seed, artifact.schedule);
+    bool reproduced = false;
+    for (const rbft::check::Violation& v : result.violations) {
+        if (v.oracle == artifact.oracle) reproduced = true;
+    }
+    std::printf("replay: %llu events observed, %zu violation(s)\n",
+                static_cast<unsigned long long>(result.events), result.violations.size());
+    for (const rbft::check::Violation& v : result.violations) {
+        std::printf("  t=%.6fs oracle=%s node=%u instance=%u seq=%llu: %s\n", v.at.seconds(),
+                    rbft::check::oracle_name(v.oracle), v.node, v.instance,
+                    static_cast<unsigned long long>(v.seq), v.detail.c_str());
+    }
+    std::printf("%s\n", reproduced ? "REPRODUCED" : "NOT REPRODUCED");
+    return reproduced ? 0 : 1;
+}
+
 const char* verdict_name(std::uint64_t code) {
     switch (code) {
         case rbft::obs::kVerdictOk: return "ok";
@@ -201,6 +241,13 @@ const char* verdict_name(std::uint64_t code) {
 }  // namespace
 
 int main(int argc, char** argv) {
+    if (argc >= 2 && std::strcmp(argv[1], "replay") == 0) {
+        if (argc != 3) {
+            std::fprintf(stderr, "usage: trace_inspect replay <violation.json>\n");
+            return 2;
+        }
+        return replay_artifact(argv[2]);
+    }
     const char* path = nullptr;
     bool dump_events = false;
     bool faults_mode = false;
