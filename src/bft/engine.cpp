@@ -278,8 +278,17 @@ void InstanceEngine::on_message(NodeId from, const net::MessagePtr& m) {
             core_.charge(simulator_, cost + costs_.digest(m->wire_size()) + costs_.mac_op);
             ++flood_discards_;
             return;
-        default:
-            break;
+        case net::MsgType::kRequest:
+        case net::MsgType::kReply:
+        case net::MsgType::kPropagate:
+        case net::MsgType::kInstanceChange:
+        case net::MsgType::kPoRequest:
+        case net::MsgType::kPoAck:
+        case net::MsgType::kPrimeOrder:
+        case net::MsgType::kRttProbe:
+        case net::MsgType::kRttEcho:
+        case net::MsgType::kPrimeSuspect:
+            break;  // never routed to an instance engine; base cost only
     }
 
     core_.submit(simulator_, cost, [this, from, m] {
@@ -306,8 +315,18 @@ void InstanceEngine::on_message(NodeId from, const net::MessagePtr& m) {
             case net::MsgType::kNewView:
                 handle_new_view(from, static_cast<const NewViewMsg&>(*m));
                 break;
-            default:
-                break;
+            case net::MsgType::kRequest:
+            case net::MsgType::kReply:
+            case net::MsgType::kPropagate:
+            case net::MsgType::kInstanceChange:
+            case net::MsgType::kPoRequest:
+            case net::MsgType::kPoAck:
+            case net::MsgType::kPrimeOrder:
+            case net::MsgType::kRttProbe:
+            case net::MsgType::kRttEcho:
+            case net::MsgType::kPrimeSuspect:
+            case net::MsgType::kFlood:
+                break;  // not engine traffic (kFlood already discarded above)
         }
     });
 }

@@ -21,11 +21,10 @@
 #include <map>
 #include <optional>
 #include <set>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "bft/messages.hpp"
+#include "common/det.hpp"
 #include "common/timeseries.hpp"
 #include "common/types.hpp"
 #include "crypto/cost_model.hpp"
@@ -307,9 +306,9 @@ private:
 
     std::map<std::uint64_t, Slot> slots_;  // keyed by raw seq, ordered
     std::deque<RequestRef> pending_;
-    std::unordered_set<RequestKey> pending_keys_;
-    std::unordered_set<RequestKey> ordered_keys_;
-    std::unordered_map<RequestKey, TimePoint> waiting_since_;
+    det::set<RequestKey> pending_keys_;
+    det::set<RequestKey> ordered_keys_;
+    det::map<RequestKey, TimePoint> waiting_since_;
     std::deque<std::pair<RequestKey, TimePoint>> waiting_fifo_;
     std::vector<PrePrepareMsg> buffered_pps_;  // awaiting clearance or view
 
@@ -325,7 +324,8 @@ private:
     bool sent_new_view_ = false;
 
     // Views peers last reported via checkpoint piggybacks (recovery input).
-    std::unordered_map<std::uint32_t, std::uint64_t> peer_views_;
+    // Iterated by maybe_adopt_peer_view(): must stay deterministic.
+    det::map<std::uint32_t, std::uint64_t> peer_views_;
     bool recovering_ = false;
 
     std::function<bool(NodeId)> primary_filter_;

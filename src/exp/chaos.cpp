@@ -1,7 +1,6 @@
 #include "exp/chaos.hpp"
 
-#include <unordered_map>
-
+#include "common/det.hpp"
 #include "fault/injector.hpp"
 #include "rbft/cluster.hpp"
 
@@ -93,7 +92,7 @@ ChaosSoakOutput run_one(const ChaosSoakScenario& scenario, const fault::FaultPla
     // Byzantine, so every node is correct and participates in the check;
     // state-transfer holes simply leave some seqs attested by fewer nodes.
     out.safety_ok = true;
-    std::unordered_map<std::uint64_t, std::uint64_t> canon;
+    det::map<std::uint64_t, std::uint64_t> canon;
     for (std::uint32_t i = 0; i < cluster.node_count(); ++i) {
         for (const auto& [seq, fp] : cluster.node(i).commit_log()) {
             auto [it, inserted] = canon.emplace(seq, fp);

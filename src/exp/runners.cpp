@@ -307,9 +307,11 @@ ScenarioOutput run_baseline(const BaselineScenario& scenario) {
             maybe_export(*recorder);
             return out;
         }
-        default:
-            return {};
+        case Protocol::kRbftTcp:
+        case Protocol::kRbftUdp:
+            return {};  // RBFT scenarios go through run_rbft()
     }
+    return {};
 }
 
 }  // namespace rbft::exp

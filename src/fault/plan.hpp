@@ -143,8 +143,11 @@ public:
                 case FaultEvent::Kind::kRestoreNic:
                     if (e.at > t) t = e.at;
                     break;
-                default:
-                    break;
+                case FaultEvent::Kind::kCrash:
+                case FaultEvent::Kind::kPartition:
+                case FaultEvent::Kind::kDegradeLink:
+                case FaultEvent::Kind::kDegradeNic:
+                    break;  // fault starts do not clear anything
             }
         }
         return t;

@@ -1,0 +1,149 @@
+#include "lint/lexer.hpp"
+
+#include <cctype>
+
+namespace rbft::lint {
+namespace {
+
+[[nodiscard]] bool ident_start(char c) noexcept {
+    return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+[[nodiscard]] bool ident_char(char c) noexcept {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view source) {
+    std::vector<Token> out;
+    const std::size_t n = source.size();
+    std::size_t i = 0;
+    int line = 1;
+
+    auto push = [&](TokKind kind, std::string text, int at) {
+        out.push_back({kind, std::move(text), at});
+    };
+
+    while (i < n) {
+        const char c = source[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+            ++i;
+            continue;
+        }
+
+        // Preprocessor directive: skip to end of line (honoring \-continuations).
+        if (c == '#') {
+            while (i < n && source[i] != '\n') {
+                if (source[i] == '\\' && i + 1 < n && source[i + 1] == '\n') {
+                    ++line;
+                    ++i;
+                }
+                ++i;
+            }
+            continue;
+        }
+
+        // Line comment.
+        if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+            const std::size_t start = i;
+            while (i < n && source[i] != '\n') ++i;
+            push(TokKind::kComment, std::string(source.substr(start, i - start)), line);
+            continue;
+        }
+
+        // Block comment.
+        if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+            const std::size_t start = i;
+            const int at = line;
+            i += 2;
+            while (i + 1 < n && !(source[i] == '*' && source[i + 1] == '/')) {
+                if (source[i] == '\n') ++line;
+                ++i;
+            }
+            i = (i + 1 < n) ? i + 2 : n;
+            push(TokKind::kComment, std::string(source.substr(start, i - start)), at);
+            continue;
+        }
+
+        // Raw string literal: R"delim( ... )delim".
+        if (c == 'R' && i + 1 < n && source[i + 1] == '"') {
+            const int at = line;
+            std::size_t j = i + 2;
+            std::string delim;
+            while (j < n && source[j] != '(') delim.push_back(source[j++]);
+            const std::string close = ")" + delim + "\"";
+            std::size_t end = source.find(close, j);
+            if (end == std::string_view::npos) end = n;
+            for (std::size_t k = i; k < end && k < n; ++k) {
+                if (source[k] == '\n') ++line;
+            }
+            i = (end == n) ? n : end + close.size();
+            push(TokKind::kString, "R\"...\"", at);
+            continue;
+        }
+
+        // String / char literal.
+        if (c == '"' || c == '\'') {
+            const int at = line;
+            const char quote = c;
+            ++i;
+            while (i < n && source[i] != quote) {
+                if (source[i] == '\\' && i + 1 < n) ++i;
+                if (source[i] == '\n') ++line;  // unterminated; keep line count sane
+                ++i;
+            }
+            if (i < n) ++i;  // closing quote
+            push(TokKind::kString, quote == '"' ? "\"...\"" : "'...'", at);
+            continue;
+        }
+
+        // Identifier / keyword.
+        if (ident_start(c)) {
+            const std::size_t start = i;
+            while (i < n && ident_char(source[i])) ++i;
+            push(TokKind::kIdentifier, std::string(source.substr(start, i - start)), line);
+            continue;
+        }
+
+        // Number (good enough: digits plus the usual suffix/exponent chars).
+        if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+            const std::size_t start = i;
+            while (i < n && (ident_char(source[i]) || source[i] == '.' ||
+                             ((source[i] == '+' || source[i] == '-') && i > start &&
+                              (source[i - 1] == 'e' || source[i - 1] == 'E' ||
+                               source[i - 1] == 'p' || source[i - 1] == 'P')))) {
+                ++i;
+            }
+            push(TokKind::kNumber, std::string(source.substr(start, i - start)), line);
+            continue;
+        }
+
+        // "::" merged into one token so scope chains are easy to match.
+        if (c == ':' && i + 1 < n && source[i + 1] == ':') {
+            push(TokKind::kPunct, "::", line);
+            i += 2;
+            continue;
+        }
+
+        push(TokKind::kPunct, std::string(1, c), line);
+        ++i;
+    }
+    return out;
+}
+
+std::vector<Token> code_tokens(const std::vector<Token>& tokens) {
+    std::vector<Token> out;
+    out.reserve(tokens.size());
+    for (const Token& t : tokens) {
+        if (t.kind != TokKind::kComment) out.push_back(t);
+    }
+    return out;
+}
+
+}  // namespace rbft::lint

@@ -1,0 +1,41 @@
+// Token-level C++ lexer for rbft_lint.
+//
+// This is not a compiler front end: it produces a flat token stream good
+// enough for the project's protocol-hygiene rules (identifier chains,
+// balanced-delimiter scanning, brace depth).  It understands the lexical
+// shapes that would otherwise break a naive scanner — line/block comments,
+// string and character literals (including raw strings), preprocessor
+// lines — so rule code never has to worry about a banned identifier hiding
+// inside a string literal or a brace inside a comment.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rbft::lint {
+
+enum class TokKind : std::uint8_t {
+    kIdentifier,  // identifiers and keywords
+    kNumber,
+    kString,   // string or character literal (contents not preserved)
+    kPunct,    // single punctuation char, or "::" as one token
+    kComment,  // full comment text, kept for RBFT_LINT_ALLOW suppressions
+};
+
+struct Token {
+    TokKind kind{};
+    std::string text;
+    int line = 1;
+};
+
+/// Tokenizes `source`.  Comments are included in the stream (rule code that
+/// walks syntax should use `code_tokens` instead); preprocessor directives
+/// are skipped entirely.
+[[nodiscard]] std::vector<Token> tokenize(std::string_view source);
+
+/// The same stream with comments removed: what syntax-shaped rules walk.
+[[nodiscard]] std::vector<Token> code_tokens(const std::vector<Token>& tokens);
+
+}  // namespace rbft::lint

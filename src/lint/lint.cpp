@@ -1,0 +1,687 @@
+#include "lint/lint.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "lint/lexer.hpp"
+
+namespace rbft::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Small token-stream helpers.
+// ---------------------------------------------------------------------------
+
+[[nodiscard]] bool is_ident(const Token& t, std::string_view text) {
+    return t.kind == TokKind::kIdentifier && t.text == text;
+}
+
+[[nodiscard]] bool is_punct(const Token& t, std::string_view text) {
+    return t.kind == TokKind::kPunct && t.text == text;
+}
+
+/// Index of the token after the matching closer, given `open` pointing at the
+/// opener.  Understands nested (), [], {}.  Returns tokens.size() on overrun.
+[[nodiscard]] std::size_t skip_balanced(const std::vector<Token>& toks, std::size_t open,
+                                        std::string_view opener, std::string_view closer) {
+    int depth = 0;
+    for (std::size_t i = open; i < toks.size(); ++i) {
+        if (is_punct(toks[i], opener)) ++depth;
+        else if (is_punct(toks[i], closer) && --depth == 0) return i + 1;
+    }
+    return toks.size();
+}
+
+/// Index of the token after a balanced template argument list; `open` points
+/// at the '<'.  '>' preceded by '-' is an arrow, not a closer.  Bails out (and
+/// returns `open`) if the angles never balance — the '<' was a comparison.
+[[nodiscard]] std::size_t skip_angles(const std::vector<Token>& toks, std::size_t open) {
+    int depth = 0;
+    for (std::size_t i = open; i < toks.size(); ++i) {
+        const Token& t = toks[i];
+        if (is_punct(t, "<")) {
+            ++depth;
+        } else if (is_punct(t, ">")) {
+            if (i > 0 && is_punct(toks[i - 1], "-")) continue;  // '->'
+            if (--depth == 0) return i + 1;
+        } else if (is_punct(t, ";") || is_punct(t, "{")) {
+            return open;  // ran off the declaration: not a template arg list
+        }
+    }
+    return open;
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions: // RBFT_LINT_ALLOW(rule[,rule...]) or RBFT_LINT_ALLOW(*)
+// on the finding's line or the line above.
+// ---------------------------------------------------------------------------
+
+struct Suppressions {
+    // line -> rules allowed there ("*" allows everything).
+    std::map<int, std::set<std::string>> by_line;
+
+    [[nodiscard]] bool covers(int line, const std::string& rule) const {
+        for (int probe : {line, line - 1}) {  // comment on the line or the line above
+            auto it = by_line.find(probe);
+            if (it == by_line.end()) continue;
+            if (it->second.count("*") != 0 || it->second.count(rule) != 0) return true;
+        }
+        return false;
+    }
+};
+
+[[nodiscard]] Suppressions collect_suppressions(const std::vector<Token>& all_tokens) {
+    Suppressions sup;
+    constexpr std::string_view kMarker = "RBFT_LINT_ALLOW(";
+    for (const Token& t : all_tokens) {
+        if (t.kind != TokKind::kComment) continue;
+        const std::size_t at = t.text.find(kMarker);
+        if (at == std::string::npos) continue;
+        const std::size_t start = at + kMarker.size();
+        const std::size_t end = t.text.find(')', start);
+        if (end == std::string::npos) continue;
+        std::string rule;
+        auto flush = [&] {
+            if (!rule.empty()) sup.by_line[t.line].insert(rule);
+            rule.clear();
+        };
+        for (std::size_t i = start; i < end; ++i) {
+            const char c = t.text[i];
+            if (c == ',' ) flush();
+            else if (c != ' ' && c != '\t') rule.push_back(c);
+        }
+        flush();
+    }
+    return sup;
+}
+
+// ---------------------------------------------------------------------------
+// det-wallclock / det-random / det-stdhash: banned identifiers in
+// protocol-critical code.
+// ---------------------------------------------------------------------------
+
+struct BannedIdent {
+    std::string_view name;
+    std::string_view rule;
+    std::string_view why;
+};
+
+constexpr BannedIdent kBanned[] = {
+    {"system_clock", "det-wallclock", "wall-clock time; use sim::Simulator::now()"},
+    {"steady_clock", "det-wallclock", "host clock; use sim::Simulator::now()"},
+    {"high_resolution_clock", "det-wallclock", "host clock; use sim::Simulator::now()"},
+    {"gettimeofday", "det-wallclock", "wall-clock time; use sim::Simulator::now()"},
+    {"clock_gettime", "det-wallclock", "wall-clock time; use sim::Simulator::now()"},
+    {"timespec_get", "det-wallclock", "wall-clock time; use sim::Simulator::now()"},
+    {"localtime", "det-wallclock", "wall-clock time; use sim::Simulator::now()"},
+    {"gmtime", "det-wallclock", "wall-clock time; use sim::Simulator::now()"},
+    {"mktime", "det-wallclock", "wall-clock time; use sim::Simulator::now()"},
+    {"random_device", "det-random", "nondeterministic entropy; derive from the run seed"},
+    {"default_random_engine", "det-random", "unseeded engine; use common::Rng"},
+    {"random_shuffle", "det-random", "uses ambient randomness; use common::Rng"},
+    {"rand", "det-random", "global C PRNG; use common::Rng"},
+    {"srand", "det-random", "global C PRNG; use common::Rng"},
+    {"rand_r", "det-random", "C PRNG; use common::Rng"},
+    {"drand48", "det-random", "global C PRNG; use common::Rng"},
+    {"lrand48", "det-random", "global C PRNG; use common::Rng"},
+};
+
+void check_banned_idents(const SourceFile& file, const std::vector<Token>& code,
+                         std::vector<Finding>& out) {
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        const Token& t = code[i];
+        if (t.kind != TokKind::kIdentifier) continue;
+        // Declarations named e.g. `rand` don't exist here; calls and type uses
+        // do.  Skip member accesses (`x.rand`, `x->rand`) — those are project
+        // symbols, not the banned global.
+        if (i > 0 && (is_punct(code[i - 1], ".") ||
+                      (is_punct(code[i - 1], ">") && i > 1 && is_punct(code[i - 2], "-")))) {
+            continue;
+        }
+        for (const BannedIdent& b : kBanned) {
+            if (t.text != b.name) continue;
+            out.push_back({std::string(b.rule), file.path, t.line,
+                           "'" + t.text + "': " + std::string(b.why)});
+            break;
+        }
+        // std::hash — hash values are not stable replay inputs.
+        if (t.text == "hash" && i >= 2 && is_punct(code[i - 1], "::") &&
+            is_ident(code[i - 2], "std")) {
+            out.push_back({"det-stdhash", file.path, t.line,
+                           "'std::hash': hash values are not replay-stable; key on "
+                           "ordered fields instead"});
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// det-unordered-iteration.
+//
+// Pass 1 (all files): names declared with an unordered container type.
+// Pass 2 (protocol-critical files): range-for over such a name, or an
+// explicit .begin()/.cbegin()/... call on one.
+// ---------------------------------------------------------------------------
+
+constexpr std::string_view kUnorderedTypes[] = {
+    "unordered_map", "unordered_set", "unordered_multimap", "unordered_multiset"};
+
+[[nodiscard]] bool is_unordered_type(const Token& t) {
+    if (t.kind != TokKind::kIdentifier) return false;
+    for (std::string_view u : kUnorderedTypes) {
+        if (t.text == u) return true;
+    }
+    return false;
+}
+
+void collect_unordered_names(const std::vector<Token>& code, std::set<std::string>& names) {
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        if (!is_unordered_type(code[i])) continue;
+        if (i + 1 >= code.size() || !is_punct(code[i + 1], "<")) continue;
+        std::size_t j = skip_angles(code, i + 1);
+        if (j == i + 1) continue;  // unbalanced: not a declaration
+        // Skip declarator decorations between the type and the name.
+        while (j < code.size() &&
+               (is_punct(code[j], "&") || is_punct(code[j], "*") || is_ident(code[j], "const"))) {
+            ++j;
+        }
+        if (j < code.size() && code[j].kind == TokKind::kIdentifier) {
+            names.insert(code[j].text);
+        }
+    }
+}
+
+/// Last identifier of a token run — `node.peers_` and `peers_` both yield
+/// `peers_`, so member and local iteration targets are matched alike.
+[[nodiscard]] const Token* last_identifier(const std::vector<Token>& code, std::size_t first,
+                                           std::size_t last) {
+    const Token* found = nullptr;
+    for (std::size_t i = first; i < last; ++i) {
+        if (code[i].kind == TokKind::kIdentifier) found = &code[i];
+    }
+    return found;
+}
+
+void check_unordered_iteration(const SourceFile& file, const std::vector<Token>& code,
+                               const std::set<std::string>& unordered_names,
+                               std::vector<Finding>& out) {
+    auto flag = [&](const Token& name) {
+        out.push_back({"det-unordered-iteration", file.path, name.line,
+                       "iteration over hash-ordered container '" + name.text +
+                           "'; order is not replay-stable — use det::map/det::set"});
+    };
+
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        // Range-based for: for ( decl : expr ) — a ';' at depth 1 means a
+        // classic for loop instead.
+        if (is_ident(code[i], "for") && i + 1 < code.size() && is_punct(code[i + 1], "(")) {
+            const std::size_t close = skip_balanced(code, i + 1, "(", ")");
+            std::size_t colon = 0;
+            bool classic = false;
+            int depth = 0;
+            for (std::size_t j = i + 1; j + 1 < close; ++j) {
+                if (is_punct(code[j], "(")) ++depth;
+                else if (is_punct(code[j], ")")) --depth;
+                else if (depth == 1 && is_punct(code[j], ";")) classic = true;
+                else if (depth == 1 && is_punct(code[j], ":") && colon == 0) colon = j;
+            }
+            if (!classic && colon != 0) {
+                const Token* name = last_identifier(code, colon + 1, close - 1);
+                if (name != nullptr && unordered_names.count(name->text) != 0) flag(*name);
+            }
+            continue;
+        }
+
+        // name.begin( / name->cbegin( etc.
+        if (code[i].kind != TokKind::kIdentifier || unordered_names.count(code[i].text) == 0) {
+            continue;
+        }
+        std::size_t j = i + 1;
+        if (j < code.size() && is_punct(code[j], ".")) {
+            ++j;
+        } else if (j + 1 < code.size() && is_punct(code[j], "-") && is_punct(code[j + 1], ">")) {
+            j += 2;
+        } else {
+            continue;
+        }
+        if (j + 1 < code.size() && code[j].kind == TokKind::kIdentifier &&
+            (code[j].text == "begin" || code[j].text == "cbegin" || code[j].text == "rbegin" ||
+             code[j].text == "crbegin") &&
+            is_punct(code[j + 1], "(")) {
+            flag(code[i]);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// wire-field-drift.
+//
+// A "message class" is any struct/class that defines both encode() and
+// decode() (inline or out of line).  Every data member must be referenced in
+// both bodies, or the wire format has silently drifted from the struct.
+// ---------------------------------------------------------------------------
+
+struct MessageClass {
+    std::string file;
+    int line = 0;                     // class declaration line
+    std::vector<std::string> fields;  // declaration order
+    std::vector<Token> encode_body;
+    std::vector<Token> decode_body;
+    bool has_encode = false;
+    bool has_decode = false;
+};
+
+/// Statement starters that never declare a data member.
+[[nodiscard]] bool non_field_statement(const Token& t) {
+    static constexpr std::string_view kStarters[] = {
+        "using",  "friend", "static",  "typedef",   "template", "enum",     "struct",
+        "class",  "union",  "public",  "private",   "protected", "operator", "constexpr",
+        "inline", "virtual", "explicit"};
+    if (t.kind != TokKind::kIdentifier) return false;
+    for (std::string_view s : kStarters) {
+        if (t.text == s) return true;
+    }
+    return false;
+}
+
+/// Extracts declarator names from one member statement: identifiers followed
+/// (at top nesting level) by ';' '=' '[' '{' or ','.  Handles `T a, b;`,
+/// array members and brace initializers; template args are skipped.
+void field_names(const std::vector<Token>& stmt, std::vector<std::string>& out) {
+    for (const Token& t : stmt) {
+        if (is_punct(t, "(")) return;  // function declaration, not a field
+        if (non_field_statement(t)) return;
+    }
+    int angle = 0;
+    for (std::size_t i = 0; i + 1 < stmt.size(); ++i) {
+        const Token& t = stmt[i];
+        if (is_punct(t, "<")) ++angle;
+        else if (is_punct(t, ">") && angle > 0 && !(i > 0 && is_punct(stmt[i - 1], "-"))) --angle;
+        if (angle != 0 || t.kind != TokKind::kIdentifier) continue;
+        const Token& next = stmt[i + 1];
+        if (is_punct(next, ";") || is_punct(next, "=") || is_punct(next, "[") ||
+            is_punct(next, "{") || is_punct(next, ",")) {
+            out.push_back(t.text);
+            if (is_punct(next, "=") || is_punct(next, "{") || is_punct(next, "[")) {
+                // Initializer / extent follows; remaining identifiers belong
+                // to it, except after a top-level ',' (multi-declarator).
+                int guard = 0;
+                for (std::size_t j = i + 1; j + 1 < stmt.size(); ++j) {
+                    if (is_punct(stmt[j], "{") || is_punct(stmt[j], "[") ||
+                        is_punct(stmt[j], "(")) {
+                        ++guard;
+                    } else if (is_punct(stmt[j], "}") || is_punct(stmt[j], "]") ||
+                               is_punct(stmt[j], ")")) {
+                        --guard;
+                    } else if (guard == 0 && is_punct(stmt[j], ",")) {
+                        i = j;  // resume scanning after the comma
+                        break;
+                    }
+                    if (j + 2 == stmt.size()) i = j + 1;  // consumed the rest
+                }
+            }
+        }
+    }
+}
+
+/// Scans a class body (tokens between its braces) and fills `cls`.
+void scan_class_body(const std::vector<Token>& code, std::size_t body_begin,
+                     std::size_t body_end, MessageClass& cls) {
+    std::vector<Token> stmt;
+    for (std::size_t i = body_begin; i < body_end; ++i) {
+        const Token& t = code[i];
+        // Access labels reset the statement: `public :`.
+        if (t.kind == TokKind::kIdentifier &&
+            (t.text == "public" || t.text == "private" || t.text == "protected") &&
+            i + 1 < body_end && is_punct(code[i + 1], ":")) {
+            stmt.clear();
+            ++i;
+            continue;
+        }
+        if (is_punct(t, "{")) {
+            // A braced region at member level: function body, nested type, or
+            // a member's brace initializer.  Capture encode/decode bodies;
+            // otherwise skip the braces.  Brace initializers (identifier
+            // directly before '{' in a field-looking statement) stay part of
+            // the statement so field_names sees them.
+            const bool initializer = !stmt.empty() && stmt.back().kind == TokKind::kIdentifier &&
+                                     !non_field_statement(stmt.front()) &&
+                                     std::none_of(stmt.begin(), stmt.end(),
+                                                  [](const Token& s) { return is_punct(s, "("); });
+            const std::size_t after = skip_balanced(code, i, "{", "}");
+            if (initializer) {
+                for (std::size_t j = i; j < after && j < body_end; ++j) stmt.push_back(code[j]);
+                i = std::min(after, body_end) - 1;
+                continue;
+            }
+            // encode/decode recognition: last identifier before the parameter
+            // list names the function.
+            std::string fn;
+            for (std::size_t j = 0; j + 1 < stmt.size(); ++j) {
+                if (stmt[j].kind == TokKind::kIdentifier && is_punct(stmt[j + 1], "(")) {
+                    fn = stmt[j].text;
+                    break;
+                }
+            }
+            std::vector<Token> body(code.begin() + static_cast<std::ptrdiff_t>(i + 1),
+                                    code.begin() + static_cast<std::ptrdiff_t>(
+                                                       std::min(after - 1, body_end)));
+            if (fn == "encode") {
+                cls.has_encode = true;
+                cls.encode_body = std::move(body);
+            } else if (fn == "decode") {
+                cls.has_decode = true;
+                cls.decode_body = std::move(body);
+            }
+            stmt.clear();
+            i = std::min(after, body_end) - 1;
+            continue;
+        }
+        if (is_punct(t, ";")) {
+            stmt.push_back(t);
+            field_names(stmt, cls.fields);
+            stmt.clear();
+            continue;
+        }
+        stmt.push_back(t);
+    }
+}
+
+void collect_message_classes(const SourceFile& file, const std::vector<Token>& code,
+                             std::map<std::string, MessageClass>& classes) {
+    for (std::size_t i = 0; i + 2 < code.size(); ++i) {
+        if (!is_ident(code[i], "struct") && !is_ident(code[i], "class")) continue;
+        if (code[i + 1].kind != TokKind::kIdentifier) continue;
+        const std::string name = code[i + 1].text;
+        // Find the opening brace; a ';' first means a forward declaration.
+        std::size_t open = i + 2;
+        while (open < code.size() && !is_punct(code[open], "{") && !is_punct(code[open], ";")) {
+            ++open;
+        }
+        if (open >= code.size() || !is_punct(code[open], "{")) continue;
+        const std::size_t after = skip_balanced(code, open, "{", "}");
+        MessageClass cls;
+        cls.file = file.path;
+        cls.line = code[i].line;
+        scan_class_body(code, open + 1, after - 1, cls);
+        auto [it, inserted] = classes.emplace(name, std::move(cls));
+        if (!inserted) {
+            // Same class name seen again (another namespace): merge naively —
+            // encode/decode presence wins, fields append.  Good enough for
+            // this codebase, where message names are globally unique.
+            MessageClass& prior = it->second;
+            if (cls.has_encode && !prior.has_encode) {
+                prior.has_encode = true;
+                prior.encode_body = std::move(cls.encode_body);
+            }
+            if (cls.has_decode && !prior.has_decode) {
+                prior.has_decode = true;
+                prior.decode_body = std::move(cls.decode_body);
+            }
+        }
+    }
+}
+
+void collect_out_of_line_bodies(const std::vector<Token>& code,
+                                std::map<std::string, MessageClass>& classes) {
+    for (std::size_t i = 0; i + 3 < code.size(); ++i) {
+        if (code[i].kind != TokKind::kIdentifier || !is_punct(code[i + 1], "::")) continue;
+        const Token& fn = code[i + 2];
+        if (!is_ident(fn, "encode") && !is_ident(fn, "decode")) continue;
+        if (!is_punct(code[i + 3], "(")) continue;
+        auto it = classes.find(code[i].text);
+        if (it == classes.end()) continue;
+        std::size_t open = skip_balanced(code, i + 3, "(", ")");
+        while (open < code.size() && !is_punct(code[open], "{") && !is_punct(code[open], ";")) {
+            ++open;
+        }
+        if (open >= code.size() || !is_punct(code[open], "{")) continue;
+        const std::size_t after = skip_balanced(code, open, "{", "}");
+        std::vector<Token> body(code.begin() + static_cast<std::ptrdiff_t>(open + 1),
+                                code.begin() + static_cast<std::ptrdiff_t>(after - 1));
+        if (fn.text == "encode") {
+            it->second.has_encode = true;
+            it->second.encode_body = std::move(body);
+        } else {
+            it->second.has_decode = true;
+            it->second.decode_body = std::move(body);
+        }
+    }
+}
+
+[[nodiscard]] bool body_mentions(const std::vector<Token>& body, const std::string& field) {
+    for (const Token& t : body) {
+        if (t.kind == TokKind::kIdentifier && t.text == field) return true;
+    }
+    return false;
+}
+
+void check_wire_drift(const std::map<std::string, MessageClass>& classes,
+                      std::vector<Finding>& out) {
+    for (const auto& [name, cls] : classes) {
+        if (!cls.has_encode || !cls.has_decode) continue;
+        for (const std::string& field : cls.fields) {
+            const bool in_enc = body_mentions(cls.encode_body, field);
+            const bool in_dec = body_mentions(cls.decode_body, field);
+            if (in_enc && in_dec) continue;
+            std::string where = (!in_enc && !in_dec) ? "encode() or decode()"
+                                : !in_enc            ? "encode()"
+                                                     : "decode()";
+            out.push_back({"wire-field-drift", cls.file, cls.line,
+                           name + "::" + field + " is never referenced in " + where +
+                               "; the wire format has drifted from the struct"});
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// switch-enum-default.
+// ---------------------------------------------------------------------------
+
+void collect_enums(const std::vector<Token>& code,
+                   std::map<std::string, std::set<std::string>>& enums) {
+    for (std::size_t i = 0; i + 2 < code.size(); ++i) {
+        if (!is_ident(code[i], "enum")) continue;
+        std::size_t j = i + 1;
+        if (is_ident(code[j], "class") || is_ident(code[j], "struct")) ++j;
+        if (j >= code.size() || code[j].kind != TokKind::kIdentifier) continue;
+        const std::string name = code[j].text;
+        std::size_t open = j + 1;
+        while (open < code.size() && !is_punct(code[open], "{") && !is_punct(code[open], ";")) {
+            ++open;
+        }
+        if (open >= code.size() || !is_punct(code[open], "{")) continue;
+        const std::size_t after = skip_balanced(code, open, "{", "}");
+        std::set<std::string>& members = enums[name];
+        // Member = identifier at enum-body depth preceded by '{' or ',' (a
+        // possible `= value` expression follows the name, never precedes it).
+        for (std::size_t k = open + 1; k + 1 < after; ++k) {
+            if (code[k].kind == TokKind::kIdentifier &&
+                (is_punct(code[k - 1], "{") || is_punct(code[k - 1], ","))) {
+                members.insert(code[k].text);
+            }
+        }
+    }
+}
+
+void check_switch_default(const SourceFile& file, const std::vector<Token>& code,
+                          const std::map<std::string, std::set<std::string>>& enums,
+                          std::vector<Finding>& out) {
+    for (std::size_t i = 0; i + 1 < code.size(); ++i) {
+        if (!is_ident(code[i], "switch") || !is_punct(code[i + 1], "(")) continue;
+        std::size_t open = skip_balanced(code, i + 1, "(", ")");
+        if (open >= code.size() || !is_punct(code[open], "{")) continue;
+        const std::size_t after = skip_balanced(code, open, "{", "}");
+
+        // Walk the switch body at depth 1 (nested switches handle themselves
+        // when the outer scan reaches them).
+        int depth = 0;
+        int default_line = 0;
+        std::string matched_enum;
+        for (std::size_t k = open; k < after && k < code.size(); ++k) {
+            if (is_punct(code[k], "{")) ++depth;
+            else if (is_punct(code[k], "}")) --depth;
+            if (depth != 1) continue;
+            if (is_ident(code[k], "default") && k + 1 < after && is_punct(code[k + 1], ":")) {
+                default_line = code[k].line;
+            }
+            if (is_ident(code[k], "case")) {
+                // Label expression runs to the next single ':'.
+                std::size_t e = k + 1;
+                while (e < after && !is_punct(code[e], ":")) ++e;
+                const Token* label = last_identifier(code, k + 1, e);
+                if (label != nullptr && matched_enum.empty()) {
+                    for (const auto& [ename, members] : enums) {
+                        if (members.count(label->text) != 0) {
+                            matched_enum = ename;
+                            break;
+                        }
+                    }
+                }
+                k = e;
+            }
+        }
+        if (default_line != 0 && !matched_enum.empty()) {
+            out.push_back({"switch-enum-default", file.path, default_line,
+                           "switch over enum '" + matched_enum +
+                               "' has a default label; new members will be silently "
+                               "swallowed instead of triaged (-Wswitch)"});
+        }
+        i = open;  // nested switches inside the body still get scanned
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+[[nodiscard]] bool is_protocol_critical(const std::string& path, const Options& options) {
+    if (options.all_protocol_critical) return true;
+    for (const std::string& dir : options.protocol_dirs) {
+        if (path.find(dir) != std::string::npos) return true;
+    }
+    return false;
+}
+
+void json_escape(std::ostream& out, const std::string& s) {
+    for (char c : s) {
+        switch (c) {
+            case '"': out << "\\\""; break;
+            case '\\': out << "\\\\"; break;
+            case '\n': out << "\\n"; break;
+            case '\t': out << "\\t"; break;
+            default: out << c; break;
+        }
+    }
+}
+
+}  // namespace
+
+std::vector<Finding> analyze(const std::vector<SourceFile>& files, const Options& options) {
+    struct Lexed {
+        const SourceFile* file;
+        std::vector<Token> all;
+        std::vector<Token> code;
+        Suppressions sup;
+    };
+    std::vector<Lexed> lexed;
+    lexed.reserve(files.size());
+
+    std::set<std::string> unordered_names;
+    std::map<std::string, MessageClass> classes;
+    std::map<std::string, std::set<std::string>> enums;
+
+    // Pass 1: lex everything and build the cross-file indexes.
+    for (const SourceFile& f : files) {
+        Lexed lx;
+        lx.file = &f;
+        lx.all = tokenize(f.text);
+        lx.code = code_tokens(lx.all);
+        lx.sup = collect_suppressions(lx.all);
+        collect_unordered_names(lx.code, unordered_names);
+        collect_message_classes(f, lx.code, classes);
+        collect_enums(lx.code, enums);
+        lexed.push_back(std::move(lx));
+    }
+    for (const Lexed& lx : lexed) {
+        collect_out_of_line_bodies(lx.code, classes);
+    }
+
+    // Pass 2: rule checks.
+    std::vector<Finding> findings;
+    for (const Lexed& lx : lexed) {
+        if (is_protocol_critical(lx.file->path, options)) {
+            check_banned_idents(*lx.file, lx.code, findings);
+            check_unordered_iteration(*lx.file, lx.code, unordered_names, findings);
+        }
+        check_switch_default(*lx.file, lx.code, enums, findings);
+    }
+    check_wire_drift(classes, findings);
+
+    // Apply suppressions (per owning file's comment index).
+    std::map<std::string, const Suppressions*> sup_by_file;
+    for (const Lexed& lx : lexed) sup_by_file[lx.file->path] = &lx.sup;
+    std::vector<Finding> kept;
+    kept.reserve(findings.size());
+    for (Finding& f : findings) {
+        auto it = sup_by_file.find(f.file);
+        if (it != sup_by_file.end() && it->second->covers(f.line, f.rule)) continue;
+        kept.push_back(std::move(f));
+    }
+
+    std::sort(kept.begin(), kept.end(), [](const Finding& a, const Finding& b) {
+        return std::tie(a.file, a.line, a.rule, a.message) <
+               std::tie(b.file, b.line, b.rule, b.message);
+    });
+    return kept;
+}
+
+std::string to_json(const std::vector<Finding>& findings) {
+    std::ostringstream out;
+    out << "[\n";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+        const Finding& f = findings[i];
+        out << "  {\"rule\": \"";
+        json_escape(out, f.rule);
+        out << "\", \"file\": \"";
+        json_escape(out, f.file);
+        out << "\", \"line\": " << f.line << ", \"message\": \"";
+        json_escape(out, f.message);
+        out << "\"}" << (i + 1 < findings.size() ? "," : "") << "\n";
+    }
+    out << "]\n";
+    return out.str();
+}
+
+std::set<std::string> read_baseline(std::istream& in) {
+    std::set<std::string> keys;
+    std::string line;
+    while (std::getline(in, line)) {
+        while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) line.pop_back();
+        if (line.empty() || line.front() == '#') continue;
+        keys.insert(line);
+    }
+    return keys;
+}
+
+void write_baseline(std::ostream& out, const std::vector<Finding>& findings) {
+    out << "# rbft_lint baseline: one finding key per line (rule|file|message).\n"
+        << "# Entries are grandfathered findings; shrink this file, never grow it.\n";
+    std::set<std::string> keys;
+    for (const Finding& f : findings) keys.insert(f.key());
+    for (const std::string& k : keys) out << k << "\n";
+}
+
+std::vector<Finding> apply_baseline(std::vector<Finding> findings,
+                                    const std::set<std::string>& baseline) {
+    std::vector<Finding> kept;
+    kept.reserve(findings.size());
+    for (Finding& f : findings) {
+        if (baseline.count(f.key()) != 0) continue;
+        kept.push_back(std::move(f));
+    }
+    return kept;
+}
+
+}  // namespace rbft::lint

@@ -1,0 +1,90 @@
+// rbft_lint — project-specific protocol-hygiene static analysis.
+//
+// A from-scratch token-level analyzer (no compiler dependency) enforcing
+// the invariants the deterministic simulation and the wire format rely on:
+//
+//   det-wallclock            wall-clock time sources (system_clock,
+//                            gettimeofday, ...) in protocol-critical code;
+//                            simulated time must come from sim::Simulator.
+//   det-random               ambient randomness (rand, std::random_device,
+//                            raw engines) in protocol-critical code; all
+//                            randomness must flow from the run's seed Rng.
+//   det-stdhash              std::hash use in protocol-critical code —
+//                            hash values (and hash-ordered containers) are
+//                            not stable replay inputs.
+//   det-unordered-iteration  range-for / begin() iteration over a variable
+//                            declared std::unordered_{map,set,...} in
+//                            protocol-critical code; iteration order is
+//                            hash-dependent and breaks per-seed replay.
+//                            Use det::map / det::set (src/common/det.hpp).
+//   wire-field-drift         a data member of a message class (any class
+//                            with both encode() and decode()) that is not
+//                            referenced in both bodies: the wire format
+//                            silently dropped or never restores the field.
+//   switch-enum-default      a switch over a known enum with a `default:`
+//                            label, which would silently swallow a newly
+//                            added enum member instead of forcing a triage
+//                            at compile time (-Wswitch).
+//
+// Protocol-critical = any path containing one of Options::protocol_dirs
+// (default: src/{bft,rbft,protocols,net,sim,fault}).  The wire and switch
+// rules apply to every analyzed file.
+//
+// Suppression: a `// RBFT_LINT_ALLOW(rule[,rule...])` or
+// `RBFT_LINT_ALLOW(*)` comment on the finding's line or the line above.
+// Baselines: a finding whose stable key (rule|file|message — line numbers
+// excluded so unrelated edits don't invalidate entries) appears in the
+// baseline file is reported only with --no-baseline tooling; see
+// tools/rbft_lint.cpp.
+#pragma once
+
+#include <iosfwd>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace rbft::lint {
+
+struct Finding {
+    std::string rule;
+    std::string file;
+    int line = 0;
+    std::string message;
+
+    /// Line-independent identity used for baseline matching.
+    [[nodiscard]] std::string key() const { return rule + "|" + file + "|" + message; }
+};
+
+struct SourceFile {
+    std::string path;
+    std::string text;
+};
+
+struct Options {
+    /// Path substrings marking determinism-critical code.
+    std::vector<std::string> protocol_dirs = {"/bft/",  "/rbft/", "/protocols/",
+                                              "/net/",  "/sim/",  "/fault/"};
+    /// Treat every input as protocol-critical (used by the fixture tests).
+    bool all_protocol_critical = false;
+};
+
+/// Runs every rule over the file set.  Cross-file by design: container
+/// declarations in headers inform iteration checks in .cpp files, and
+/// out-of-line encode/decode bodies are matched to their class.  Findings
+/// are sorted by (file, line, rule) and already have RBFT_LINT_ALLOW
+/// suppressions applied.
+[[nodiscard]] std::vector<Finding> analyze(const std::vector<SourceFile>& files,
+                                           const Options& options);
+
+/// Deterministic JSON rendering of the findings (array of objects).
+[[nodiscard]] std::string to_json(const std::vector<Finding>& findings);
+
+/// Baseline files: one Finding::key() per line, '#' comments allowed.
+[[nodiscard]] std::set<std::string> read_baseline(std::istream& in);
+void write_baseline(std::ostream& out, const std::vector<Finding>& findings);
+
+/// Drops findings whose key appears in `baseline`.
+[[nodiscard]] std::vector<Finding> apply_baseline(std::vector<Finding> findings,
+                                                  const std::set<std::string>& baseline);
+
+}  // namespace rbft::lint

@@ -22,10 +22,9 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "common/det.hpp"
 #include "common/rng.hpp"
 #include "common/time.hpp"
 #include "net/message.hpp"
@@ -212,12 +211,12 @@ private:
     Rng rng_;
     ChannelParams node_channel_;
     ChannelParams client_channel_;
-    std::unordered_map<std::uint32_t, NodePort> nodes_;
-    std::unordered_map<std::uint32_t, ClientPort> clients_;
-    std::unordered_map<std::uint64_t, TimePoint> fifo_last_;  // per ordered channel
-    std::unordered_map<std::uint64_t, LinkFault> link_faults_;  // by channel key
+    det::map<std::uint32_t, NodePort> nodes_;
+    det::map<std::uint32_t, ClientPort> clients_;
+    det::map<std::uint64_t, TimePoint> fifo_last_;  // per ordered channel
+    det::map<std::uint64_t, LinkFault> link_faults_;  // by channel key
     std::vector<std::uint32_t> partition_group_;  // by node id; empty = healed
-    std::unordered_set<std::uint32_t> down_nodes_;
+    det::set<std::uint32_t> down_nodes_;
     std::uint64_t total_messages_ = 0;
     std::uint64_t total_bytes_ = 0;
     std::uint64_t fault_dropped_ = 0;

@@ -15,11 +15,10 @@
 #pragma once
 
 #include <memory>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "bft/engine.hpp"
 #include "bft/messages.hpp"
+#include "common/det.hpp"
 #include "crypto/cost_model.hpp"
 #include "crypto/keystore.hpp"
 #include "net/flood.hpp"
@@ -115,10 +114,10 @@ protected:
     sim::NodeCpu cpu_;  // single core: everything serializes through core 0
     std::unique_ptr<bft::InstanceEngine> engine_;
 
-    std::unordered_map<RequestKey, std::shared_ptr<const bft::RequestMsg>> known_requests_;
-    std::unordered_set<RequestKey> executed_;
-    std::unordered_map<ClientId, std::pair<RequestId, bft::ReplyMsg>> last_reply_;
-    std::unordered_set<ClientId> blacklisted_clients_;
+    det::map<RequestKey, std::shared_ptr<const bft::RequestMsg>> known_requests_;
+    det::set<RequestKey> executed_;
+    det::map<ClientId, std::pair<RequestId, bft::ReplyMsg>> last_reply_;
+    det::set<ClientId> blacklisted_clients_;
 
     WindowCounter ordered_window_;
     WindowCounter offered_window_;  // verified client requests (load signal)

@@ -99,8 +99,16 @@ void PrimeNode::on_message(net::Address from, const net::MessagePtr& m) {
             cpu_.core(0).charge(simulator_, costs_.recv_overhead +
                                                 costs_.digest(m->wire_size()) + costs_.mac_op);
             break;
-        default:
-            break;
+        case net::MsgType::kReply:
+        case net::MsgType::kPropagate:
+        case net::MsgType::kPrePrepare:
+        case net::MsgType::kPrepare:
+        case net::MsgType::kCommit:
+        case net::MsgType::kCheckpoint:
+        case net::MsgType::kViewChange:
+        case net::MsgType::kNewView:
+        case net::MsgType::kInstanceChange:
+            break;  // not part of the Prime vocabulary
     }
 }
 

@@ -26,11 +26,10 @@
 #include <map>
 #include <memory>
 #include <set>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "bft/messages.hpp"
+#include "common/det.hpp"
 #include "common/timeseries.hpp"
 #include "crypto/cost_model.hpp"
 #include "crypto/keystore.hpp"
@@ -159,8 +158,8 @@ private:
     std::vector<std::shared_ptr<const bft::RequestMsg>> po_buffer_;
     std::uint64_t my_po_seq_ = 0;
     std::map<PoId, PoState> po_store_;
-    std::unordered_set<RequestKey> seen_requests_;
-    std::unordered_set<RequestKey> executed_;
+    det::set<RequestKey> seen_requests_;
+    det::set<RequestKey> executed_;
 
     // Ordering state.
     std::uint64_t order_seq_sent_ = 0;
@@ -173,7 +172,7 @@ private:
     TimePoint last_order_received_{};
 
     // Monitoring state.
-    std::unordered_map<std::uint64_t, TimePoint> probe_sent_;  // nonce -> time
+    det::map<std::uint64_t, TimePoint> probe_sent_;  // nonce -> time
     std::uint64_t next_nonce_ = 1;
     // Conservative until real probes arrive: suspecting a correct primary
     // because the monitor has not measured yet would break liveness.

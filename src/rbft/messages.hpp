@@ -36,6 +36,7 @@ public:
         w.u32(raw(sender));
         w.u32(static_cast<std::uint32_t>(auth.macs.size()));
         for (const auto& m : auth.macs) w.raw(BytesView(m.bytes.data(), m.bytes.size()));
+        w.u64(corrupt_mac_mask);
     }
 
     static PropagateMsg decode(net::WireReader& r) {
@@ -53,6 +54,7 @@ public:
                 for (auto& byte : mac.bytes) byte = r.u8();
             }
         }
+        m.corrupt_mac_mask = r.u64();
         return m;
     }
 };

@@ -202,9 +202,11 @@ void Node::on_message(net::Address from, const net::MessagePtr& m) {
                 case net::MsgType::kViewChange:
                     instance = static_cast<const bft::ViewChangeMsg&>(*m).instance;
                     break;
-                default:
+                case net::MsgType::kNewView:
                     instance = static_cast<const bft::NewViewMsg&>(*m).instance;
                     break;
+                default:  // RBFT_LINT_ALLOW(switch-enum-default)
+                    return;  // unreachable: restricted by the outer dispatch
             }
             if (raw(instance) >= engines_.size()) return;
             engines_[raw(instance)]->on_message(NodeId{from.index}, m);
@@ -231,8 +233,14 @@ void Node::on_message(net::Address from, const net::MessagePtr& m) {
             count_invalid(from);
             break;
         }
-        default:
-            break;
+        case net::MsgType::kReply:
+        case net::MsgType::kPoRequest:
+        case net::MsgType::kPoAck:
+        case net::MsgType::kPrimeOrder:
+        case net::MsgType::kRttProbe:
+        case net::MsgType::kRttEcho:
+        case net::MsgType::kPrimeSuspect:
+            break;  // not addressed to an RBFT node
     }
 }
 

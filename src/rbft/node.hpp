@@ -31,12 +31,11 @@
 #include <memory>
 #include <optional>
 #include <set>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "bft/engine.hpp"
 #include "bft/messages.hpp"
+#include "common/det.hpp"
 #include "common/histogram.hpp"
 #include "common/timeseries.hpp"
 #include "crypto/cost_model.hpp"
@@ -292,18 +291,18 @@ private:
     // until the node is destroyed.
     std::vector<std::unique_ptr<bft::InstanceEngine>> retired_engines_;
 
-    std::unordered_map<RequestKey, RequestState> requests_;
-    std::unordered_set<RequestKey> executed_;
-    std::unordered_map<ClientId, std::pair<RequestId, bft::ReplyMsg>> last_reply_;
-    std::unordered_set<ClientId> blacklisted_clients_;
+    det::map<RequestKey, RequestState> requests_;
+    det::set<RequestKey> executed_;
+    det::map<ClientId, std::pair<RequestId, bft::ReplyMsg>> last_reply_;
+    det::set<ClientId> blacklisted_clients_;
 
     // Monitoring state.
     sim::PeriodicTimer monitor_timer_;
     std::vector<WindowCounter> ordered_counters_;     // per instance (nbreqs_i)
     std::vector<Series> monitor_series_;              // per instance
-    std::unordered_map<RequestKey, TimePoint> ordering_started_;
-    std::unordered_map<ClientId, ClientLatencyStats> client_latency_;
-    std::unordered_map<ClientId, Series> master_latency_series_;
+    det::map<RequestKey, TimePoint> ordering_started_;
+    det::map<ClientId, ClientLatencyStats> client_latency_;
+    det::map<ClientId, Series> master_latency_series_;
     std::uint32_t grace_remaining_ = 0;
     std::uint32_t bad_window_streak_ = 0;
     bool suspicious_ = false;
@@ -315,12 +314,13 @@ private:
     std::map<std::uint64_t, std::set<NodeId>> ic_votes_;
 
     // Flood defense.
-    std::unordered_map<std::uint64_t, std::uint64_t> invalid_counts_;  // per source
+    det::map<std::uint64_t, std::uint64_t> invalid_counts_;  // per source
 
     // Crash/recovery state.
     bool crashed_ = false;
     bool recovering_ = false;
-    std::unordered_map<std::uint32_t, std::uint64_t> peer_cpi_;  // checkpoint piggybacks
+    // Iterated by note_peer_cpi(): must stay deterministic.
+    det::map<std::uint32_t, std::uint64_t> peer_cpi_;  // checkpoint piggybacks
     std::vector<std::pair<std::uint64_t, std::uint64_t>> commit_log_;  // (seq, fingerprint)
 
     NodeStats stats_;

@@ -11,9 +11,9 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "common/det.hpp"
 #include "common/time.hpp"
 #include "obs/metrics.hpp"
 
@@ -89,7 +89,7 @@ private:
     std::uint64_t next_seq_ = 0;
     std::uint64_t next_id_ = 1;
     std::priority_queue<Event, std::vector<Event>, Later> queue_;
-    std::unordered_set<std::uint64_t> cancelled_;
+    det::set<std::uint64_t> cancelled_;
 };
 
 }  // namespace rbft::sim

@@ -1,0 +1,47 @@
+// Lint fixture: clean file — ordered containers, seeded randomness shapes,
+// exhaustive switches, complete wire coverage.  Must produce zero findings.
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+enum class Color { kRed, kGreen };
+
+struct W {
+    void u32(std::uint32_t v);
+};
+struct R {
+    std::uint32_t u32();
+};
+
+struct GoodMsg {
+    std::uint32_t id = 0;
+    void encode(W& w) const { w.u32(id); }
+    static GoodMsg decode(R& r) {
+        GoodMsg m;
+        m.id = r.u32();
+        return m;
+    }
+};
+
+struct State {
+    std::map<std::uint32_t, std::uint64_t> ordered_;
+    std::unordered_map<std::uint32_t, std::uint64_t> cache_;  // lookups only: fine
+
+    std::uint64_t total() const {
+        std::uint64_t sum = 0;
+        for (const auto& [k, v] : ordered_) sum += v;  // ordered: deterministic
+        return sum;
+    }
+    std::uint64_t lookup(std::uint32_t k) const {
+        auto it = cache_.find(k);
+        return it == cache_.end() ? 0 : it->second;
+    }
+};
+
+int classify(Color c) {
+    switch (c) {
+        case Color::kRed: return 1;
+        case Color::kGreen: return 2;
+    }
+    return 0;
+}

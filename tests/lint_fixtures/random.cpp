@@ -1,0 +1,8 @@
+// Lint fixture: det-random.  Not compiled by the build.
+#include <cstdlib>
+#include <random>
+
+unsigned pick_backoff() {
+    std::random_device rd;          // planted: nondeterministic entropy source
+    return rd() % 100 + rand() % 7;  // planted: global C PRNG
+}

@@ -1,0 +1,8 @@
+// Lint fixture: det-stdhash.  Not compiled by the build.
+#include <cstddef>
+#include <functional>
+#include <string>
+
+std::size_t bucket_of(const std::string& key) {
+    return std::hash<std::string>{}(key) % 16;  // planted: hash values are not replay-stable
+}

@@ -1,0 +1,16 @@
+// Lint fixture: RBFT_LINT_ALLOW suppressions on otherwise-flagged sites.
+enum class Kind { kA, kB };
+
+int tag(Kind k, int raw) {
+    if (raw >= 0) {
+        switch (static_cast<Kind>(raw)) {
+            case Kind::kA: return 1;
+            default: return 0;  // RBFT_LINT_ALLOW(switch-enum-default)
+        }
+    }
+    switch (k) {
+        case Kind::kB: return 2;
+        // RBFT_LINT_ALLOW(*)
+        default: return 3;
+    }
+}

@@ -1,0 +1,10 @@
+// Lint fixture: switch-enum-default.  Not compiled by the build.
+enum class Phase { kIdle, kPrePrepared, kPrepared, kCommitted };
+
+int weight(Phase p) {
+    switch (p) {
+        case Phase::kIdle: return 0;
+        case Phase::kPrepared: return 2;
+        default: return -1;  // planted: swallows kPrePrepared/kCommitted and any new member
+    }
+}

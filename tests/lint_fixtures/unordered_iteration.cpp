@@ -1,0 +1,24 @@
+// Lint fixture: det-unordered-iteration.  Not compiled by the build — parsed
+// by test_lint.cpp as analyzer input.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+struct Tracker {
+    std::unordered_map<std::uint32_t, std::uint64_t> peer_views_;
+    std::unordered_set<std::uint64_t> seen_;
+
+    std::uint64_t max_view() const {
+        std::uint64_t best = 0;
+        for (const auto& [peer, view] : peer_views_) {  // planted: hash-ordered iteration
+            if (view > best) best = view;
+        }
+        return best;
+    }
+
+    std::uint64_t first() const {
+        return *seen_.begin();  // planted: begin() on a hash-ordered container
+    }
+
+    bool contains(std::uint64_t v) const { return seen_.count(v) != 0; }  // fine: lookup only
+};

@@ -1,0 +1,9 @@
+// Lint fixture: det-wallclock.  Not compiled by the build.
+#include <chrono>
+#include <cstdint>
+
+std::uint64_t stamp_now() {
+    auto t = std::chrono::system_clock::now();  // planted: wall-clock time source
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t.time_since_epoch()).count());
+}

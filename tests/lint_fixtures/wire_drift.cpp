@@ -1,0 +1,34 @@
+// Lint fixture: wire-field-drift.  Not compiled by the build.
+//
+// DriftMsg::flags is encoded but never decoded: the classic drift bug where a
+// field was added to the struct and to encode(), and the reader silently
+// reconstructs a default.
+#include <cstdint>
+#include <vector>
+
+struct Writer {
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+};
+struct Reader {
+    std::uint32_t u32();
+    std::uint64_t u64();
+};
+
+struct DriftMsg {
+    std::uint32_t sender = 0;
+    std::uint64_t seq = 0;
+    std::uint32_t flags = 0;
+
+    void encode(Writer& w) const {
+        w.u32(sender);
+        w.u64(seq);
+        w.u32(flags);
+    }
+    static DriftMsg decode(Reader& r) {
+        DriftMsg m;
+        m.sender = r.u32();
+        m.seq = r.u64();
+        return m;  // planted: flags never restored
+    }
+};

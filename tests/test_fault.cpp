@@ -162,14 +162,18 @@ TEST(ChaosSoak, SeededSoakIsSafeLiveAndReproducible) {
     EXPECT_GT(a.baseline_tail_kreq_s, 0.0);
     EXPECT_GE(a.tail_kreq_s * 2.0, a.baseline_tail_kreq_s);
 
-    // Determinism: a second run with the same seed yields a byte-identical
-    // trace.json.
+    // Determinism: a second run with the same seed yields byte-identical
+    // trace.json and metrics.json exports.
     const exp::ChaosSoakOutput b = run();
     std::ostringstream trace_a, trace_b;
     a.recorder->write_trace_json(trace_a);
     b.recorder->write_trace_json(trace_b);
     EXPECT_FALSE(trace_a.str().empty());
     EXPECT_EQ(trace_a.str(), trace_b.str());
+    std::ostringstream metrics_a, metrics_b;
+    a.recorder->write_metrics_json(metrics_a);
+    b.recorder->write_metrics_json(metrics_b);
+    EXPECT_EQ(metrics_a.str(), metrics_b.str());
     EXPECT_EQ(a.completed, b.completed);
 }
 

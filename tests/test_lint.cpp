@@ -1,0 +1,166 @@
+// rbft_lint analyzer tests: each fixture under tests/lint_fixtures/ plants
+// exactly the violations its name says, and the clean fixture none.  The
+// fixtures are analyzer *input*, never compiled into the build.
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint/lexer.hpp"
+#include "lint/lint.hpp"
+
+namespace lint = rbft::lint;
+
+namespace {
+
+lint::SourceFile load_fixture(const std::string& name) {
+    const std::string path = std::string(LINT_FIXTURE_DIR) + "/" + name;
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << "missing fixture " << path;
+    std::ostringstream text;
+    text << in.rdbuf();
+    return {path, text.str()};
+}
+
+std::vector<lint::Finding> analyze_fixture(const std::string& name) {
+    lint::Options options;
+    options.all_protocol_critical = true;  // fixtures live outside src/bft etc.
+    return lint::analyze({load_fixture(name)}, options);
+}
+
+int count_rule(const std::vector<lint::Finding>& findings, const std::string& rule) {
+    int n = 0;
+    for (const auto& f : findings) {
+        if (f.rule == rule) ++n;
+    }
+    return n;
+}
+
+TEST(Lexer, TokenizesPastTrapsThatBreakNaiveScanners) {
+    const auto toks = lint::tokenize(
+        "// rand() in a comment\n"
+        "const char* s = \"rand()\";\n"
+        "auto r = R\"x(rand( )x\";\n"
+        "#define rand broken\\\n  continued\n"
+        "int x = a::b;\n");
+    int rand_idents = 0;
+    for (const auto& t : toks) {
+        if (t.kind == lint::TokKind::kIdentifier && t.text == "rand") ++rand_idents;
+    }
+    EXPECT_EQ(rand_idents, 0) << "rand leaked out of comment/string/raw-string/preprocessor";
+    bool scope = false;
+    for (const auto& t : toks) {
+        if (t.kind == lint::TokKind::kPunct && t.text == "::") scope = true;
+    }
+    EXPECT_TRUE(scope) << ":: should be one token";
+}
+
+TEST(LintFixtures, UnorderedIterationFlagsRangeForAndBegin) {
+    const auto findings = analyze_fixture("unordered_iteration.cpp");
+    EXPECT_EQ(count_rule(findings, "det-unordered-iteration"), 2)
+        << lint::to_json(findings);
+    // The count()-only lookup must not be flagged.
+    EXPECT_EQ(findings.size(), 2u) << lint::to_json(findings);
+}
+
+TEST(LintFixtures, WallclockFlagged) {
+    const auto findings = analyze_fixture("wallclock.cpp");
+    EXPECT_EQ(count_rule(findings, "det-wallclock"), 1) << lint::to_json(findings);
+}
+
+TEST(LintFixtures, RandomSourcesFlagged) {
+    const auto findings = analyze_fixture("random.cpp");
+    EXPECT_GE(count_rule(findings, "det-random"), 2) << lint::to_json(findings);
+}
+
+TEST(LintFixtures, StdHashFlagged) {
+    const auto findings = analyze_fixture("stdhash.cpp");
+    EXPECT_EQ(count_rule(findings, "det-stdhash"), 1) << lint::to_json(findings);
+}
+
+TEST(LintFixtures, WireDriftFlagsFieldMissingFromDecode) {
+    const auto findings = analyze_fixture("wire_drift.cpp");
+    ASSERT_EQ(count_rule(findings, "wire-field-drift"), 1) << lint::to_json(findings);
+    for (const auto& f : findings) {
+        if (f.rule != "wire-field-drift") continue;
+        EXPECT_NE(f.message.find("DriftMsg::flags"), std::string::npos) << f.message;
+        EXPECT_NE(f.message.find("decode()"), std::string::npos) << f.message;
+    }
+}
+
+TEST(LintFixtures, SwitchDefaultOverEnumFlagged) {
+    const auto findings = analyze_fixture("switch_default.cpp");
+    ASSERT_EQ(count_rule(findings, "switch-enum-default"), 1) << lint::to_json(findings);
+    EXPECT_NE(findings[0].message.find("Phase"), std::string::npos) << findings[0].message;
+}
+
+TEST(LintFixtures, AllowCommentsSuppressBothForms) {
+    const auto findings = analyze_fixture("suppressed.cpp");
+    EXPECT_TRUE(findings.empty()) << lint::to_json(findings);
+}
+
+TEST(LintFixtures, CleanFixtureProducesNoFindings) {
+    const auto findings = analyze_fixture("clean.cpp");
+    EXPECT_TRUE(findings.empty()) << lint::to_json(findings);
+}
+
+TEST(LintFixtures, CrossFileDeclarationInformsIterationCheck) {
+    // Declaration in one "header", iteration in another file: the unordered
+    // index must span the file set.
+    lint::Options options;
+    options.all_protocol_critical = true;
+    const lint::SourceFile header{
+        "decl.hpp", "#include <unordered_map>\n"
+                    "struct S { std::unordered_map<int, int> lookup_; };\n"};
+    const lint::SourceFile user{
+        "use.cpp", "#include \"decl.hpp\"\n"
+                   "int f(const S& s) { int n = 0; for (auto& kv : s.lookup_) n += kv.second; "
+                   "return n; }\n"};
+    const auto findings = lint::analyze({header, user}, options);
+    ASSERT_EQ(findings.size(), 1u) << lint::to_json(findings);
+    EXPECT_EQ(findings[0].rule, "det-unordered-iteration");
+    EXPECT_EQ(findings[0].file, "use.cpp");
+}
+
+TEST(LintFixtures, ProtocolDirGateLimitsDeterminismRules) {
+    // The same violation outside a protocol-critical dir is not a finding
+    // (wire/switch rules still apply everywhere).
+    lint::Options options;  // default dirs, all_protocol_critical off
+    const lint::SourceFile tool{"tools/bench_helper.cpp",
+                                "#include <chrono>\n"
+                                "auto t() { return std::chrono::system_clock::now(); }\n"};
+    const lint::SourceFile proto{"src/bft/engine_extra.cpp",
+                                 "#include <chrono>\n"
+                                 "auto t() { return std::chrono::system_clock::now(); }\n"};
+    const auto findings = lint::analyze({tool, proto}, options);
+    ASSERT_EQ(findings.size(), 1u) << lint::to_json(findings);
+    EXPECT_EQ(findings[0].file, "src/bft/engine_extra.cpp");
+}
+
+TEST(LintBaseline, RoundTripSuppressesExactlyTheWrittenKeys) {
+    const auto findings = analyze_fixture("switch_default.cpp");
+    ASSERT_FALSE(findings.empty());
+    std::stringstream baseline;
+    lint::write_baseline(baseline, findings);
+    const auto keys = lint::read_baseline(baseline);
+    EXPECT_EQ(keys.size(), findings.size());
+    const auto remaining = lint::apply_baseline(findings, keys);
+    EXPECT_TRUE(remaining.empty()) << lint::to_json(remaining);
+    // A baseline for a different fixture suppresses nothing here.
+    const auto other = analyze_fixture("wallclock.cpp");
+    const auto still = lint::apply_baseline(other, keys);
+    EXPECT_EQ(still.size(), other.size());
+}
+
+TEST(LintJson, EscapesAndStructure) {
+    const std::vector<lint::Finding> findings = {
+        {"det-random", "a\"b.cpp", 3, "line1\nline2"}};
+    const std::string json = lint::to_json(findings);
+    EXPECT_NE(json.find("\\\""), std::string::npos);
+    EXPECT_NE(json.find("\\n"), std::string::npos);
+    EXPECT_NE(json.find("\"line\": 3"), std::string::npos);
+}
+
+}  // namespace
