@@ -14,13 +14,7 @@
 namespace rbft::bench {
 namespace {
 
-struct ClosedLoopResult {
-    double kreq_s = 0.0;
-    double mean_ms = 0.0;
-    std::uint64_t instance_changes = 0;
-};
-
-ClosedLoopResult run_closed_loop(bool attack) {
+exp::RunOutput run_closed_loop(bool attack) {
     obs::Recorder recorder;  // declared before the cluster: must outlive it
     core::ClusterConfig cfg;
     cfg.seed = 21;
@@ -48,47 +42,63 @@ ClosedLoopResult run_closed_loop(bool attack) {
     for (auto& loop : loops) loop->start();
     cluster.simulator().run_for(seconds(4.0));
 
-    ClosedLoopResult result;
     const auto window = exp::measure_window(recorder.metrics(), TimePoint{} + seconds(1.0),
                                             TimePoint{} + seconds(4.0));
-    result.kreq_s = window.kreq_s;
-    result.mean_ms = window.mean_latency_ms;
+    std::uint64_t instance_changes = 0;
     for (std::uint32_t i = 0; i < cluster.node_count(); ++i) {
         if (!cluster.node(i).faulty()) {
-            result.instance_changes +=
+            instance_changes +=
                 recorder.metrics().counter_value("rbft.instance_changes_done", i);
         }
     }
-    return result;
+
+    exp::RunOutput out;
+    out.extra = {{"kreq_s", window.kreq_s},
+                 {"mean_ms", window.mean_latency_ms},
+                 {"instance_changes", static_cast<double>(instance_changes)}};
+    return out;
 }
 
-void closed_loop_attack2(benchmark::State& state) {
-    ClosedLoopResult fault_free, attacked;
-    for (auto _ : state) {
-        fault_free = run_closed_loop(false);
-        attacked = run_closed_loop(true);
-    }
-    const double relative =
-        fault_free.kreq_s > 0 ? 100.0 * attacked.kreq_s / fault_free.kreq_s : 0.0;
-    state.counters["relative_pct"] = relative;
-    state.counters["instance_changes"] = static_cast<double>(attacked.instance_changes);
-    add_row("ClosedLoop fault-free", {{"kreq_s", fault_free.kreq_s},
-                                      {"mean_ms", fault_free.mean_ms}});
-    add_row("ClosedLoop worst-attack-2", {{"kreq_s", attacked.kreq_s},
-                                          {"mean_ms", attacked.mean_ms},
-                                          {"relative_pct", relative},
-                                          {"instance_changes",
-                                           static_cast<double>(attacked.instance_changes)}});
-}
+void register_points(Harness& harness) {
+    exp::CustomRun fault_free;
+    fault_free.seed = 21;
+    fault_free.sim_seconds = 4.0;
+    fault_free.run = [] { return run_closed_loop(false); };
+    exp::CustomRun attacked;
+    attacked.seed = 21;
+    attacked.sim_seconds = 4.0;
+    attacked.run = [] { return run_closed_loop(true); };
 
-void register_benches() {
-    benchmark::RegisterBenchmark("Ablation/closed-loop-attack2", closed_loop_attack2)
-        ->Iterations(1)
-        ->Unit(benchmark::kMillisecond);
+    harness.add_point(
+        "Ablation/closed-loop-attack2",
+        {exp::RunSpec{"fault-free", fault_free}, exp::RunSpec{"worst-attack-2", attacked}},
+        [](const std::vector<exp::RunOutput>& outs) {
+            auto value = [](const exp::RunOutput& out, const char* key) {
+                for (const auto& [name, v] : out.extra) {
+                    if (name == key) return v;
+                }
+                return 0.0;
+            };
+            const double ff_kreq = value(outs[0], "kreq_s");
+            const double at_kreq = value(outs[1], "kreq_s");
+            const double relative = ff_kreq > 0 ? 100.0 * at_kreq / ff_kreq : 0.0;
+            const double instance_changes = value(outs[1], "instance_changes");
+            PointOutcome outcome;
+            outcome.counters = {{"relative_pct", relative},
+                                {"instance_changes", instance_changes}};
+            outcome.rows = {{"ClosedLoop fault-free",
+                             {{"kreq_s", ff_kreq}, {"mean_ms", value(outs[0], "mean_ms")}}},
+                            {"ClosedLoop worst-attack-2",
+                             {{"kreq_s", at_kreq},
+                              {"mean_ms", value(outs[1], "mean_ms")},
+                              {"relative_pct", relative},
+                              {"instance_changes", instance_changes}}}};
+            return outcome;
+        });
 }
-const bool registered = (register_benches(), true);
 
 }  // namespace
 }  // namespace rbft::bench
 
-RBFT_BENCH_MAIN("Ablation: closed-loop clients under worst-attack-2 (the paper's open-loop rationale)")
+RBFT_BENCH_MAIN("ablation_closed_loop",
+                "Ablation: closed-loop clients under worst-attack-2 (the paper's open-loop rationale)")

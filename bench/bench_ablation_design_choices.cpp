@@ -11,112 +11,129 @@
 namespace rbft::bench {
 namespace {
 
-void order_full_vs_digests(benchmark::State& state) {
-    exp::ScenarioOutput digests, full;
-    for (auto _ : state) {
+void register_points(Harness& harness) {
+    // (a) order digests vs full request bodies at 4 kB.
+    {
         exp::RbftScenario scenario;
         scenario.payload_bytes = 4096;
         scenario.order_full_requests = false;
-        digests = run_rbft(scenario);
-        scenario.order_full_requests = true;
+        exp::RunSpec digests{"order-digests", scenario};
         // Offered load must not exceed the degraded capacity's queueing
         // knee; probe at the digest-mode saturation to expose the drop.
-        full = run_rbft(scenario);
+        scenario.order_full_requests = true;
+        exp::RunSpec full{"order-full", scenario};
+        harness.add_point("Ablation/order-full", {digests, full},
+                          [](const std::vector<exp::RunOutput>& outs) {
+                              const exp::RunResult& d = outs[0].scenario.result;
+                              const exp::RunResult& f = outs[1].scenario.result;
+                              PointOutcome outcome;
+                              outcome.counters = {{"digests_kreq_s", d.kreq_s},
+                                                  {"full_kreq_s", f.kreq_s}};
+                              outcome.rows = {{"Ablation order-digests vs full (4kB)",
+                                               {{"digests_kreq_s", d.kreq_s},
+                                                {"full_kreq_s", f.kreq_s},
+                                                {"full_mean_ms", f.mean_latency_ms}}}};
+                              return outcome;
+                          });
     }
-    state.counters["digests_kreq_s"] = digests.result.kreq_s;
-    state.counters["full_kreq_s"] = full.result.kreq_s;
-    add_row("Ablation order-digests vs full (4kB)",
-            {{"digests_kreq_s", digests.result.kreq_s},
-             {"full_kreq_s", full.result.kreq_s},
-             {"full_mean_ms", full.result.mean_latency_ms}});
-}
 
-void tcp_vs_udp(benchmark::State& state) {
-    const auto payload = static_cast<std::size_t>(state.range(0));
-    exp::ScenarioOutput tcp, udp;
-    for (auto _ : state) {
+    // (b) TCP vs UDP latency at half capacity.
+    for (std::size_t payload : {8UL, 4096UL}) {
         exp::RbftScenario scenario;
         scenario.payload_bytes = payload;
         scenario.rate = 0.5 * exp::capacity(exp::Protocol::kRbftTcp, payload);
         scenario.use_udp = false;
-        tcp = run_rbft(scenario);
+        exp::RunSpec tcp{"tcp", scenario};
         scenario.use_udp = true;
-        udp = run_rbft(scenario);
-    }
-    const double reduction =
-        tcp.result.mean_latency_ms > 0
-            ? 100.0 * (tcp.result.mean_latency_ms - udp.result.mean_latency_ms) /
-                  tcp.result.mean_latency_ms
-            : 0.0;
-    state.counters["tcp_ms"] = tcp.result.mean_latency_ms;
-    state.counters["udp_ms"] = udp.result.mean_latency_ms;
-    state.counters["udp_reduction_pct"] = reduction;
-    char label[96];
-    std::snprintf(label, sizeof(label),
-                  "Ablation TCP vs UDP latency (payload=%zuB, paper: -22%%/-18%%)", payload);
-    add_row(label, {{"tcp_ms", tcp.result.mean_latency_ms},
-                    {"udp_ms", udp.result.mean_latency_ms},
-                    {"udp_reduction_pct", reduction}});
-}
+        exp::RunSpec udp{"udp", scenario};
 
-void instance_count(benchmark::State& state) {
-    exp::ScenarioOutput two, three;
-    for (auto _ : state) {
+        char name[64];
+        std::snprintf(name, sizeof(name), "Ablation/tcp-vs-udp/payload:%zu", payload);
+        char label[96];
+        std::snprintf(label, sizeof(label),
+                      "Ablation TCP vs UDP latency (payload=%zuB, paper: -22%%/-18%%)", payload);
+        harness.add_point(
+            name, {tcp, udp},
+            [label = std::string(label)](const std::vector<exp::RunOutput>& outs) {
+                const exp::RunResult& tcp_r = outs[0].scenario.result;
+                const exp::RunResult& udp_r = outs[1].scenario.result;
+                const double reduction =
+                    tcp_r.mean_latency_ms > 0
+                        ? 100.0 * (tcp_r.mean_latency_ms - udp_r.mean_latency_ms) /
+                              tcp_r.mean_latency_ms
+                        : 0.0;
+                PointOutcome outcome;
+                outcome.counters = {{"tcp_ms", tcp_r.mean_latency_ms},
+                                    {"udp_ms", udp_r.mean_latency_ms},
+                                    {"udp_reduction_pct", reduction}};
+                outcome.rows = {{label,
+                                 {{"tcp_ms", tcp_r.mean_latency_ms},
+                                  {"udp_ms", udp_r.mean_latency_ms},
+                                  {"udp_reduction_pct", reduction}}}};
+                return outcome;
+            });
+    }
+
+    // (c) f+1 vs 2f+1 protocol instances.
+    {
         exp::RbftScenario scenario;
         scenario.payload_bytes = 8;
         scenario.instances_override = 0;  // f+1 = 2
-        two = run_rbft(scenario);
+        exp::RunSpec two{"instances-fplus1", scenario};
         scenario.instances_override = 3;  // 2f+1
-        three = run_rbft(scenario);
+        exp::RunSpec three{"instances-2fplus1", scenario};
+        harness.add_point(
+            "Ablation/instances", {two, three},
+            [](const std::vector<exp::RunOutput>& outs) {
+                const exp::RunResult& a = outs[0].scenario.result;
+                const exp::RunResult& b = outs[1].scenario.result;
+                PointOutcome outcome;
+                outcome.counters = {{"fplus1_kreq_s", a.kreq_s}, {"2fplus1_kreq_s", b.kreq_s}};
+                outcome.rows = {{"Ablation instances f+1 vs 2f+1 (8B)",
+                                 {{"fplus1_kreq_s", a.kreq_s},
+                                  {"2fplus1_kreq_s", b.kreq_s},
+                                  {"fplus1_ms", a.mean_latency_ms},
+                                  {"2fplus1_ms", b.mean_latency_ms}}}};
+                return outcome;
+            });
     }
-    state.counters["fplus1_kreq_s"] = two.result.kreq_s;
-    state.counters["2fplus1_kreq_s"] = three.result.kreq_s;
-    add_row("Ablation instances f+1 vs 2f+1 (8B)",
-            {{"fplus1_kreq_s", two.result.kreq_s},
-             {"2fplus1_kreq_s", three.result.kreq_s},
-             {"fplus1_ms", two.result.mean_latency_ms},
-             {"2fplus1_ms", three.result.mean_latency_ms}});
-}
 
-void delta_sensitivity(benchmark::State& state) {
-    const double delta = static_cast<double>(state.range(0)) / 100.0;
-    exp::ScenarioOutput fault_free, attacked;
-    for (auto _ : state) {
+    // (d) Δ sensitivity under worst-attack-2.
+    for (double delta : {0.90, 0.95, 0.97, 0.99}) {
         exp::RbftScenario scenario;
         scenario.payload_bytes = 8;
         scenario.delta = delta;
         scenario.warmup = seconds(1.0);
         scenario.measure = seconds(3.0);
         scenario.attack = exp::RbftScenario::Attack::kNone;
-        fault_free = run_rbft(scenario);
+        exp::RunSpec fault_free{"fault-free", scenario};
         scenario.attack = exp::RbftScenario::Attack::kWorst2;
-        attacked = run_rbft(scenario);
-    }
-    const double relative = exp::relative_percent(attacked, fault_free);
-    state.counters["relative_pct"] = relative;
-    char label[96];
-    std::snprintf(label, sizeof(label), "Ablation delta=%.2f worst-attack-2", delta);
-    add_row(label, {{"relative_pct", relative},
-                    {"instance_changes", static_cast<double>(attacked.instance_changes)}});
-}
+        exp::RunSpec attacked{"worst-attack-2", scenario};
 
-void register_benches() {
-    benchmark::RegisterBenchmark("Ablation/order-full", order_full_vs_digests)
-        ->Iterations(1)->Unit(benchmark::kMillisecond);
-    for (long payload : {8L, 4096L}) {
-        benchmark::RegisterBenchmark("Ablation/tcp-vs-udp", tcp_vs_udp)
-            ->Arg(payload)->Iterations(1)->Unit(benchmark::kMillisecond);
-    }
-    benchmark::RegisterBenchmark("Ablation/instances", instance_count)
-        ->Iterations(1)->Unit(benchmark::kMillisecond);
-    for (long delta : {90L, 95L, 97L, 99L}) {
-        benchmark::RegisterBenchmark("Ablation/delta", delta_sensitivity)
-            ->Arg(delta)->Iterations(1)->Unit(benchmark::kMillisecond);
+        char name[64];
+        std::snprintf(name, sizeof(name), "Ablation/delta:%d",
+                      static_cast<int>(delta * 100));
+        char label[96];
+        std::snprintf(label, sizeof(label), "Ablation delta=%.2f worst-attack-2", delta);
+        harness.add_point(
+            name, {fault_free, attacked},
+            [label = std::string(label)](const std::vector<exp::RunOutput>& outs) {
+                const exp::ScenarioOutput& ff = outs[0].scenario;
+                const exp::ScenarioOutput& at = outs[1].scenario;
+                const double relative = exp::relative_percent(at, ff);
+                PointOutcome outcome;
+                outcome.counters = {{"relative_pct", relative}};
+                outcome.rows = {
+                    {label,
+                     {{"relative_pct", relative},
+                      {"instance_changes", static_cast<double>(at.instance_changes)}}}};
+                return outcome;
+            });
     }
 }
-const bool registered = (register_benches(), true);
 
 }  // namespace
 }  // namespace rbft::bench
 
-RBFT_BENCH_MAIN("Ablations: design choices (order-digests, TCP/UDP, instances, delta)")
+RBFT_BENCH_MAIN("ablation_design_choices",
+                "Ablations: design choices (order-digests, TCP/UDP, instances, delta)")

@@ -3,7 +3,8 @@
 // degrades links and NICs.  Not a paper figure — a robustness harness: it
 // reports the two invariants (safety = no divergent committed prefixes,
 // liveness = post-recovery throughput vs an identically-seeded fault-free
-// twin) across several seeds.
+// twin) across several seeds.  Each seed is one independent deterministic
+// run, so the seeds execute concurrently on the worker pool.
 //
 // Set RBFT_OBS_DIR to export the faulty run's trace; `trace_inspect faults`
 // renders the fault/recovery timeline from it.
@@ -14,48 +15,53 @@
 namespace rbft::bench {
 namespace {
 
-void chaos_soak(benchmark::State& state) {
-    const auto seed = static_cast<std::uint64_t>(state.range(0));
-    exp::ChaosSoakOutput out;
-    for (auto _ : state) {
+void register_points(Harness& harness) {
+    for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
         exp::ChaosSoakScenario scenario;
         scenario.seed = seed;
         scenario.recorder = std::make_shared<obs::Recorder>();
         // A full 8 s soak records ~400k events; size the ring to hold them
         // all so the fault timeline survives for `trace_inspect faults`.
-        if (obs::export_dir_from_env()) scenario.recorder->enable_trace(1u << 20);
-        out = exp::run_chaos_soak(scenario);
-        if (const char* dir = obs::export_dir_from_env()) out.recorder->export_to_dir(dir);
-    }
-    const double recovery_pct = out.baseline_tail_kreq_s > 0.0
-                                    ? 100.0 * out.tail_kreq_s / out.baseline_tail_kreq_s
-                                    : 0.0;
-    state.counters["safety_ok"] = out.safety_ok ? 1.0 : 0.0;
-    state.counters["recovery_pct"] = recovery_pct;
-    state.counters["faults"] = static_cast<double>(out.faults_applied);
-    state.counters["instance_changes"] = static_cast<double>(out.instance_changes);
-    add_row("ChaosSoak seed=" + std::to_string(seed),
-            {{"safety_ok", out.safety_ok ? 1.0 : 0.0},
-             {"tail_kreq_s", out.tail_kreq_s},
-             {"baseline_kreq_s", out.baseline_tail_kreq_s},
-             {"recovery_pct", recovery_pct},
-             {"faults", static_cast<double>(out.faults_applied)},
-             {"crashes", static_cast<double>(out.crashes)},
-             {"retransmissions", static_cast<double>(out.client_retransmissions)},
-             {"instance_changes", static_cast<double>(out.instance_changes)}});
-}
+        if (obs::export_dir_from_env()) scenario.recorder->enable_trace(1U << 20);
 
-void register_benches() {
-    for (std::int64_t seed : {1, 2, 3}) {
-        benchmark::RegisterBenchmark("ChaosSoak", chaos_soak)
-            ->Arg(seed)
-            ->Iterations(1)
-            ->Unit(benchmark::kMillisecond);
+        char name[32];
+        std::snprintf(name, sizeof(name), "ChaosSoak/seed:%llu",
+                      static_cast<unsigned long long>(seed));
+        harness.add_point(
+            name, {exp::RunSpec{"chaos-soak", scenario}},
+            [seed](const std::vector<exp::RunOutput>& outs) {
+                const exp::ChaosSoakOutput& out = outs[0].chaos;
+                // Folds run serially after the pool, so exporting the trace
+                // here cannot interleave with another seed's export.
+                if (const char* dir = obs::export_dir_from_env()) {
+                    out.recorder->export_to_dir(dir);
+                }
+                const double recovery_pct =
+                    out.baseline_tail_kreq_s > 0.0
+                        ? 100.0 * out.tail_kreq_s / out.baseline_tail_kreq_s
+                        : 0.0;
+                PointOutcome outcome;
+                outcome.counters = {
+                    {"safety_ok", out.safety_ok ? 1.0 : 0.0},
+                    {"recovery_pct", recovery_pct},
+                    {"faults", static_cast<double>(out.faults_applied)},
+                    {"instance_changes", static_cast<double>(out.instance_changes)}};
+                outcome.rows = {
+                    {"ChaosSoak seed=" + std::to_string(seed),
+                     {{"safety_ok", out.safety_ok ? 1.0 : 0.0},
+                      {"tail_kreq_s", out.tail_kreq_s},
+                      {"baseline_kreq_s", out.baseline_tail_kreq_s},
+                      {"recovery_pct", recovery_pct},
+                      {"faults", static_cast<double>(out.faults_applied)},
+                      {"crashes", static_cast<double>(out.crashes)},
+                      {"retransmissions", static_cast<double>(out.client_retransmissions)},
+                      {"instance_changes", static_cast<double>(out.instance_changes)}}}};
+                return outcome;
+            });
     }
 }
-const bool registered = (register_benches(), true);
 
 }  // namespace
 }  // namespace rbft::bench
 
-RBFT_BENCH_MAIN("Chaos soak: safety + post-recovery throughput under seeded faults")
+RBFT_BENCH_MAIN("chaos_soak", "Chaos soak: safety + post-recovery throughput under seeded faults")

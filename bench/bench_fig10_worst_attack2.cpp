@@ -11,63 +11,63 @@
 namespace rbft::bench {
 namespace {
 
-void fig10_point(benchmark::State& state) {
-    const auto f = static_cast<std::uint32_t>(state.range(0));
-    const auto payload = static_cast<std::size_t>(state.range(1));
-    const auto load = static_cast<exp::LoadShape>(state.range(2));
+void register_points(Harness& harness) {
+    for (std::uint32_t f : {1U, 2U}) {
+        for (std::size_t payload : {8UL, 1024UL, 2048UL, 4096UL}) {
+            for (auto load : {exp::LoadShape::kStatic, exp::LoadShape::kDynamic}) {
+                exp::RbftScenario scenario;
+                scenario.f = f;
+                scenario.payload_bytes = payload;
+                scenario.load = load;
+                // f = 2 clusters (7 nodes, 3 instances) simulate ~4x slower;
+                // a slightly lower saturation point and shorter window keep
+                // the regeneration affordable without changing the verdict.
+                if (f == 2) {
+                    scenario.rate = 0.72 * exp::capacity(exp::Protocol::kRbftTcp, payload);
+                    scenario.warmup = seconds(0.8);
+                    scenario.measure = seconds(1.6);
+                }
+                if (f == 1) {
+                    scenario.warmup = seconds(1.0);
+                    scenario.measure = seconds(3.0);
+                }
+                scenario.attack = exp::RbftScenario::Attack::kNone;
+                exp::RunSpec fault_free{"fault-free", scenario};
+                scenario.attack = exp::RbftScenario::Attack::kWorst2;
+                exp::RunSpec attacked{"worst-attack-2", scenario};
 
-    exp::ScenarioOutput fault_free, attacked;
-    for (auto _ : state) {
-        exp::RbftScenario scenario;
-        scenario.f = f;
-        scenario.payload_bytes = payload;
-        scenario.load = load;
-        // f = 2 clusters (7 nodes, 3 instances) simulate ~4x slower; a
-        // slightly lower saturation point and shorter window keep the
-        // regeneration affordable without changing the verdict.
-        if (f == 2) {
-            scenario.rate = 0.72 * exp::capacity(exp::Protocol::kRbftTcp, payload);
-            scenario.warmup = seconds(0.8);
-            scenario.measure = seconds(1.6);
-        }
-        if (f == 1) {
-            scenario.warmup = seconds(1.0);
-            scenario.measure = seconds(3.0);
-        }
-        scenario.attack = exp::RbftScenario::Attack::kNone;
-        fault_free = run_rbft(scenario);
-        scenario.attack = exp::RbftScenario::Attack::kWorst2;
-        attacked = run_rbft(scenario);
-    }
-    const double relative = exp::relative_percent(attacked, fault_free);
-    state.counters["relative_pct"] = relative;
-    state.counters["instance_changes"] = static_cast<double>(attacked.instance_changes);
-
-    char label[96];
-    std::snprintf(label, sizeof(label), "Fig10 f=%u %-7s payload=%zuB", f, load_name(load),
-                  payload);
-    add_row(label, {{"relative_pct", relative},
-                    {"ff_kreq_s", fault_free.result.kreq_s},
-                    {"attacked_kreq_s", attacked.result.kreq_s},
-                    {"instance_changes", static_cast<double>(attacked.instance_changes)}});
-}
-
-void register_benches() {
-    for (long f : {1L, 2L}) {
-        for (long payload : {8L, 1024L, 2048L, 4096L}) {
-            for (long load : {0L, 1L}) {
-                benchmark::RegisterBenchmark("Fig10/worst-attack-2", fig10_point)
-                    ->Args({f, payload, load})
-                    ->ArgNames({"f", "payload", "dynamic"})
-                    ->Iterations(1)
-                    ->Unit(benchmark::kMillisecond);
+                char name[80];
+                std::snprintf(name, sizeof(name),
+                              "Fig10/worst-attack-2/f:%u/payload:%zu/dynamic:%d", f, payload,
+                              load == exp::LoadShape::kDynamic ? 1 : 0);
+                char label[96];
+                std::snprintf(label, sizeof(label), "Fig10 f=%u %-7s payload=%zuB", f,
+                              load_name(load), payload);
+                harness.add_point(
+                    name, {fault_free, attacked},
+                    [label = std::string(label)](const std::vector<exp::RunOutput>& outs) {
+                        const exp::ScenarioOutput& ff = outs[0].scenario;
+                        const exp::ScenarioOutput& at = outs[1].scenario;
+                        const double relative = exp::relative_percent(at, ff);
+                        PointOutcome outcome;
+                        outcome.counters = {
+                            {"relative_pct", relative},
+                            {"instance_changes", static_cast<double>(at.instance_changes)}};
+                        outcome.rows = {
+                            {label,
+                             {{"relative_pct", relative},
+                              {"ff_kreq_s", ff.result.kreq_s},
+                              {"attacked_kreq_s", at.result.kreq_s},
+                              {"instance_changes", static_cast<double>(at.instance_changes)}}}};
+                        return outcome;
+                    });
             }
         }
     }
 }
-const bool registered = (register_benches(), true);
 
 }  // namespace
 }  // namespace rbft::bench
 
-RBFT_BENCH_MAIN("Figure 10: RBFT relative throughput under worst-attack-2 (%)")
+RBFT_BENCH_MAIN("fig10_worst_attack2",
+                "Figure 10: RBFT relative throughput under worst-attack-2 (%)")

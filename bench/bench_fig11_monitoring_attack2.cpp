@@ -8,40 +8,42 @@
 namespace rbft::bench {
 namespace {
 
-void fig11(benchmark::State& state) {
-    exp::ScenarioOutput attacked;
-    for (auto _ : state) {
-        exp::RbftScenario scenario;
-        scenario.payload_bytes = 4096;
-        scenario.load = exp::LoadShape::kStatic;
-        scenario.attack = exp::RbftScenario::Attack::kWorst2;
-        scenario.warmup = seconds(1.0);
-        scenario.measure = seconds(3.0);
-        attacked = run_rbft(scenario);
-    }
-    for (std::size_t i = 0; i < attacked.node_throughputs.size(); ++i) {
-        const auto [master, backup] = attacked.node_throughputs[i];
-        char label[64];
-        std::snprintf(label, sizeof(label), "Fig11 node%zu", i + 1);  // node0 is faulty
-        add_row(label, {{"master_kreq_s", master},
-                        {"backup_kreq_s", backup},
-                        {"ratio", backup > 0 ? master / backup : 0.0}});
-        if (i == 0) {
-            state.counters["master_kreq_s"] = master;
-            state.counters["backup_kreq_s"] = backup;
-        }
-    }
-    state.counters["instance_changes"] = static_cast<double>(attacked.instance_changes);
-}
+void register_points(Harness& harness) {
+    exp::RbftScenario scenario;
+    scenario.payload_bytes = 4096;
+    scenario.load = exp::LoadShape::kStatic;
+    scenario.attack = exp::RbftScenario::Attack::kWorst2;
+    scenario.warmup = seconds(1.0);
+    scenario.measure = seconds(3.0);
 
-void register_benches() {
-    benchmark::RegisterBenchmark("Fig11/monitoring", fig11)
-        ->Iterations(1)
-        ->Unit(benchmark::kMillisecond);
+    harness.add_point("Fig11/monitoring", {exp::RunSpec{"worst-attack-2", scenario}},
+                      [](const std::vector<exp::RunOutput>& outs) {
+                          const exp::ScenarioOutput& attacked = outs[0].scenario;
+                          PointOutcome outcome;
+                          for (std::size_t i = 0; i < attacked.node_throughputs.size(); ++i) {
+                              const auto [master, backup] = attacked.node_throughputs[i];
+                              char label[64];
+                              // node0 is faulty, so correct nodes start at 1.
+                              std::snprintf(label, sizeof(label), "Fig11 node%zu", i + 1);
+                              outcome.rows.push_back(
+                                  {label,
+                                   {{"master_kreq_s", master},
+                                    {"backup_kreq_s", backup},
+                                    {"ratio", backup > 0 ? master / backup : 0.0}}});
+                              if (i == 0) {
+                                  outcome.counters.emplace_back("master_kreq_s", master);
+                                  outcome.counters.emplace_back("backup_kreq_s", backup);
+                              }
+                          }
+                          outcome.counters.emplace_back(
+                              "instance_changes",
+                              static_cast<double>(attacked.instance_changes));
+                          return outcome;
+                      });
 }
-const bool registered = (register_benches(), true);
 
 }  // namespace
 }  // namespace rbft::bench
 
-RBFT_BENCH_MAIN("Figure 11: per-node monitored throughput, worst-attack-2 (kreq/s)")
+RBFT_BENCH_MAIN("fig11_monitoring_attack2",
+                "Figure 11: per-node monitored throughput, worst-attack-2 (kreq/s)")

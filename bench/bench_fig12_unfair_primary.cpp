@@ -14,48 +14,42 @@
 namespace rbft::bench {
 namespace {
 
-void fig12(benchmark::State& state) {
+double stage_mean(const Series& s, std::size_t from, std::size_t to) {
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = from; i < to && i < s.points.size(); ++i, ++n) {
+        sum += s.points[i].second;
+    }
+    return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+exp::RunOutput run_fig12() {
     core::ClusterConfig cfg;
     cfg.batch_delay = milliseconds(0.3);  // low-load setup: small batches
-    cfg.monitoring.lambda = milliseconds(1.5);   // Λ
-    cfg.monitoring.omega = seconds(10.0);        // Ω set high on purpose
-    Series victim, other;
-    std::uint64_t instance_changes = 0;
+    cfg.monitoring.lambda = milliseconds(1.5);  // Λ
+    cfg.monitoring.omega = seconds(10.0);       // Ω set high on purpose
 
-    for (auto _ : state) {
-        obs::Recorder recorder;  // declared before the cluster: must outlive it
-        cfg.recorder = &recorder;
-        core::Cluster cluster(cfg);
-        attacks::UnfairPrimary attack(cluster);
-        attack.install();
-        cluster.start();
+    obs::Recorder recorder;  // declared before the cluster: must outlive it
+    cfg.recorder = &recorder;
+    core::Cluster cluster(cfg);
+    attacks::UnfairPrimary attack(cluster);
+    attack.install();
+    cluster.start();
 
-        workload::ClientBehavior behavior;
-        behavior.payload_bytes = 4096;
-        auto clients = exp::make_clients(cluster.simulator(), cluster.network(), cluster.keys(),
-                                         cfg.n(), cfg.f, 2, behavior);
-        workload::LoadGenerator load(cluster.simulator(), exp::client_ptrs(clients),
-                                     workload::LoadSpec::constant(1000.0, seconds(3.2), 2),
-                                     Rng(7));
-        load.start();
-        cluster.simulator().run_for(seconds(3.5));
+    workload::ClientBehavior behavior;
+    behavior.payload_bytes = 4096;
+    auto clients = exp::make_clients(cluster.simulator(), cluster.network(), cluster.keys(),
+                                     cfg.n(), cfg.f, 2, behavior);
+    workload::LoadGenerator load(cluster.simulator(), exp::client_ptrs(clients),
+                                 workload::LoadSpec::constant(1000.0, seconds(3.2), 2), Rng(7));
+    load.start();
+    cluster.simulator().run_for(seconds(3.5));
 
-        // Ordering latencies recorded by a correct node's monitoring module.
-        victim = cluster.node(1).master_latency_series(ClientId{0});
-        other = cluster.node(1).master_latency_series(ClientId{1});
-        instance_changes += recorder.metrics().counter_sum("rbft.instance_changes_done");
-        cfg.recorder = nullptr;
-    }
+    // Ordering latencies recorded by a correct node's monitoring module.
+    const Series victim = cluster.node(1).master_latency_series(ClientId{0});
+    const Series other = cluster.node(1).master_latency_series(ClientId{1});
+    const auto instance_changes = recorder.metrics().counter_sum("rbft.instance_changes_done");
 
-    // Print the series the paper plots, downsampled, plus stage means.
-    auto stage_mean = [](const Series& s, std::size_t from, std::size_t to) {
-        double sum = 0.0;
-        std::size_t n = 0;
-        for (std::size_t i = from; i < to && i < s.points.size(); ++i, ++n) {
-            sum += s.points[i].second;
-        }
-        return n ? sum / static_cast<double>(n) : 0.0;
-    };
     double peak = 0.0;
     std::size_t peak_at = 0;
     for (std::size_t i = 0; i < victim.points.size(); ++i) {
@@ -64,34 +58,62 @@ void fig12(benchmark::State& state) {
             peak_at = i;
         }
     }
-    add_row("Fig12 attacked client  req 1-500", {{"mean_ms", stage_mean(victim, 0, 500)}});
-    add_row("Fig12 attacked client  req 500-1000", {{"mean_ms", stage_mean(victim, 500, 1000)}});
-    add_row("Fig12 attacked client  peak", {{"latency_ms", peak},
-                                            {"at_request", static_cast<double>(peak_at)}});
-    add_row("Fig12 attacked client  after change",
-            {{"mean_ms", stage_mean(victim, peak_at + 50, victim.points.size())}});
-    add_row("Fig12 other client     overall",
-            {{"mean_ms", stage_mean(other, 0, other.points.size())}});
-    add_row("Fig12 instance changes", {{"count", static_cast<double>(instance_changes)}});
 
-    std::printf("# Fig12 series (request#, latency ms), every 25th point:\n");
+    exp::RunOutput out;
+    out.extra = {{"stage1_mean_ms", stage_mean(victim, 0, 500)},
+                 {"stage2_mean_ms", stage_mean(victim, 500, 1000)},
+                 {"peak_latency_ms", peak},
+                 {"peak_at_request", static_cast<double>(peak_at)},
+                 {"after_change_mean_ms", stage_mean(victim, peak_at + 50, victim.points.size())},
+                 {"other_client_mean_ms", stage_mean(other, 0, other.points.size())},
+                 {"instance_changes", static_cast<double>(instance_changes)}};
+    out.notes.push_back("# Fig12 series (request#, latency ms), every 25th point:");
     for (std::size_t i = 0; i < victim.points.size(); i += 25) {
-        std::printf("  attacked %5.0f %.3f\n", victim.points[i].first, victim.points[i].second);
+        char line[64];
+        std::snprintf(line, sizeof(line), "  attacked %5.0f %.3f", victim.points[i].first,
+                      victim.points[i].second);
+        out.notes.emplace_back(line);
     }
-
-    state.counters["peak_latency_ms"] = peak;
-    state.counters["instance_changes"] = static_cast<double>(instance_changes);
-    state.counters["baseline_ms"] = stage_mean(victim, 0, 500);
+    return out;
 }
 
-void register_benches() {
-    benchmark::RegisterBenchmark("Fig12/unfair-primary", fig12)
-        ->Iterations(1)
-        ->Unit(benchmark::kMillisecond);
+void register_points(Harness& harness) {
+    exp::CustomRun custom;
+    custom.seed = core::ClusterConfig{}.seed;
+    custom.sim_seconds = 3.5;
+    custom.run = run_fig12;
+
+    harness.add_point(
+        "Fig12/unfair-primary", {exp::RunSpec{"unfair-primary", custom}},
+        [](const std::vector<exp::RunOutput>& outs) {
+            const exp::RunOutput& out = outs[0];
+            auto value = [&](const char* key) {
+                for (const auto& [name, v] : out.extra) {
+                    if (name == key) return v;
+                }
+                return 0.0;
+            };
+            PointOutcome outcome;
+            outcome.rows = {
+                {"Fig12 attacked client  req 1-500", {{"mean_ms", value("stage1_mean_ms")}}},
+                {"Fig12 attacked client  req 500-1000", {{"mean_ms", value("stage2_mean_ms")}}},
+                {"Fig12 attacked client  peak",
+                 {{"latency_ms", value("peak_latency_ms")},
+                  {"at_request", value("peak_at_request")}}},
+                {"Fig12 attacked client  after change",
+                 {{"mean_ms", value("after_change_mean_ms")}}},
+                {"Fig12 other client     overall", {{"mean_ms", value("other_client_mean_ms")}}},
+                {"Fig12 instance changes", {{"count", value("instance_changes")}}}};
+            outcome.counters = {{"peak_latency_ms", value("peak_latency_ms")},
+                                {"instance_changes", value("instance_changes")},
+                                {"baseline_ms", value("stage1_mean_ms")}};
+            outcome.notes = out.notes;
+            return outcome;
+        });
 }
-const bool registered = (register_benches(), true);
 
 }  // namespace
 }  // namespace rbft::bench
 
-RBFT_BENCH_MAIN("Figure 12: per-request ordering latency with an unfair primary")
+RBFT_BENCH_MAIN("fig12_unfair_primary",
+                "Figure 12: per-request ordering latency with an unfair primary")

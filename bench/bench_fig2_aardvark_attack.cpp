@@ -10,53 +10,51 @@
 namespace rbft::bench {
 namespace {
 
-void aardvark_point(benchmark::State& state) {
-    const auto payload = static_cast<std::size_t>(state.range(0));
-    const auto load = static_cast<exp::LoadShape>(state.range(1));
+void register_points(Harness& harness) {
+    for (std::size_t payload : {8UL, 1024UL, 2048UL, 4096UL}) {
+        for (auto load : {exp::LoadShape::kStatic, exp::LoadShape::kDynamic}) {
+            exp::BaselineScenario scenario;
+            scenario.protocol = exp::Protocol::kAardvark;
+            scenario.payload_bytes = payload;
+            scenario.load = load;
+            // Static runs need several view rotations so the malicious
+            // node's turn (with real expectation history) falls in the
+            // window.
+            scenario.warmup = seconds(2.0);
+            scenario.measure = seconds(4.0);
+            scenario.attack = false;
+            exp::RunSpec fault_free{"fault-free", scenario};
+            scenario.attack = true;
+            exp::RunSpec attacked{"attacked", scenario};
 
-    exp::ScenarioOutput fault_free, attacked;
-    for (auto _ : state) {
-        exp::BaselineScenario scenario;
-        scenario.protocol = exp::Protocol::kAardvark;
-        scenario.payload_bytes = payload;
-        scenario.load = load;
-        // Static runs need several view rotations so the malicious node's
-        // turn (with real expectation history) falls in the window.
-        scenario.warmup = seconds(2.0);
-        scenario.measure = seconds(4.0);
-        scenario.attack = false;
-        fault_free = run_baseline(scenario);
-        scenario.attack = true;
-        attacked = run_baseline(scenario);
-    }
-    const double relative = exp::relative_percent(attacked, fault_free);
-    state.counters["relative_pct"] = relative;
-    state.counters["faultfree_kreq_s"] = fault_free.result.kreq_s;
-    state.counters["attacked_kreq_s"] = attacked.result.kreq_s;
-    state.counters["view_changes"] = static_cast<double>(attacked.view_changes);
-
-    char label[96];
-    std::snprintf(label, sizeof(label), "Fig2 Aardvark %-7s payload=%zuB", load_name(load),
-                  payload);
-    add_row(label, {{"relative_pct", relative},
-                    {"ff_kreq_s", fault_free.result.kreq_s},
-                    {"attacked_kreq_s", attacked.result.kreq_s}});
-}
-
-void register_benches() {
-    for (long payload : {8L, 1024L, 2048L, 4096L}) {
-        for (long load : {0L, 1L}) {
-            benchmark::RegisterBenchmark("Fig2/Aardvark", aardvark_point)
-                ->Args({payload, load})
-                ->ArgNames({"payload", "dynamic"})
-                ->Iterations(1)
-                ->Unit(benchmark::kMillisecond);
+            char name[64];
+            std::snprintf(name, sizeof(name), "Fig2/Aardvark/payload:%zu/dynamic:%d", payload,
+                          load == exp::LoadShape::kDynamic ? 1 : 0);
+            char label[96];
+            std::snprintf(label, sizeof(label), "Fig2 Aardvark %-7s payload=%zuB",
+                          load_name(load), payload);
+            harness.add_point(
+                name, {fault_free, attacked},
+                [label = std::string(label)](const std::vector<exp::RunOutput>& outs) {
+                    const exp::ScenarioOutput& ff = outs[0].scenario;
+                    const exp::ScenarioOutput& at = outs[1].scenario;
+                    const double relative = exp::relative_percent(at, ff);
+                    PointOutcome outcome;
+                    outcome.counters = {{"relative_pct", relative},
+                                        {"faultfree_kreq_s", ff.result.kreq_s},
+                                        {"attacked_kreq_s", at.result.kreq_s},
+                                        {"view_changes", static_cast<double>(at.view_changes)}};
+                    outcome.rows = {{label,
+                                     {{"relative_pct", relative},
+                                      {"ff_kreq_s", ff.result.kreq_s},
+                                      {"attacked_kreq_s", at.result.kreq_s}}}};
+                    return outcome;
+                });
         }
     }
 }
-const bool registered = (register_benches(), true);
 
 }  // namespace
 }  // namespace rbft::bench
 
-RBFT_BENCH_MAIN("Figure 2: Aardvark relative throughput under attack (%)")
+RBFT_BENCH_MAIN("fig2_aardvark_attack", "Figure 2: Aardvark relative throughput under attack (%)")

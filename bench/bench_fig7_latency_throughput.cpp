@@ -11,6 +11,10 @@ namespace {
 
 constexpr double kFractions[] = {0.2, 0.4, 0.6, 0.75, 0.9, 1.0};
 
+constexpr exp::Protocol kProtocols[] = {exp::Protocol::kRbftTcp, exp::Protocol::kRbftUdp,
+                                        exp::Protocol::kAardvark, exp::Protocol::kSpinning,
+                                        exp::Protocol::kPrime};
+
 const char* protocol_name(exp::Protocol protocol) {
     switch (protocol) {
         case exp::Protocol::kRbftTcp: return "RBFT-TCP";
@@ -22,60 +26,60 @@ const char* protocol_name(exp::Protocol protocol) {
     return "?";
 }
 
-void fig7_point(benchmark::State& state) {
-    const auto protocol = static_cast<exp::Protocol>(state.range(0));
-    const auto payload = static_cast<std::size_t>(state.range(1));
-    const double fraction = static_cast<double>(state.range(2)) / 100.0;
-    const double rate = fraction * exp::capacity(protocol, payload) * 0.95;
-
-    exp::ScenarioOutput out;
-    for (auto _ : state) {
-        if (protocol == exp::Protocol::kRbftTcp || protocol == exp::Protocol::kRbftUdp) {
-            exp::RbftScenario scenario;
-            scenario.use_udp = protocol == exp::Protocol::kRbftUdp;
-            scenario.payload_bytes = payload;
-            scenario.rate = rate;
-            scenario.warmup = seconds(0.6);
-            scenario.measure = seconds(1.4);
-            out = run_rbft(scenario);
-        } else {
-            exp::BaselineScenario scenario;
-            scenario.protocol = protocol;
-            scenario.payload_bytes = payload;
-            scenario.rate = rate;
-            scenario.warmup = seconds(0.6);
-            scenario.measure = seconds(1.4);
-            out = run_baseline(scenario);
-        }
-    }
-    state.counters["kreq_s"] = out.result.kreq_s;
-    state.counters["mean_ms"] = out.result.mean_latency_ms;
-    state.counters["p99_ms"] = out.result.p99_ms;
-
-    char label[96];
-    std::snprintf(label, sizeof(label), "Fig7 %-9s payload=%zuB offered=%.1fk",
-                  protocol_name(protocol), payload, rate / 1000.0);
-    add_row(label, {{"kreq_s", out.result.kreq_s},
-                    {"mean_ms", out.result.mean_latency_ms},
-                    {"p99_ms", out.result.p99_ms}});
-}
-
-void register_benches() {
-    for (long protocol : {0L, 1L, 2L, 3L, 4L}) {  // enum order
-        for (long payload : {8L, 4096L}) {
+void register_points(Harness& harness) {
+    for (exp::Protocol protocol : kProtocols) {
+        for (std::size_t payload : {8UL, 4096UL}) {
             for (double fraction : kFractions) {
-                benchmark::RegisterBenchmark("Fig7/point", fig7_point)
-                    ->Args({protocol, payload, static_cast<long>(fraction * 100)})
-                    ->ArgNames({"proto", "payload", "loadpct"})
-                    ->Iterations(1)
-                    ->Unit(benchmark::kMillisecond);
+                const double rate = fraction * exp::capacity(protocol, payload) * 0.95;
+
+                exp::RunSpec spec;
+                spec.label = "fault-free";
+                if (protocol == exp::Protocol::kRbftTcp ||
+                    protocol == exp::Protocol::kRbftUdp) {
+                    exp::RbftScenario scenario;
+                    scenario.use_udp = protocol == exp::Protocol::kRbftUdp;
+                    scenario.payload_bytes = payload;
+                    scenario.rate = rate;
+                    scenario.warmup = seconds(0.6);
+                    scenario.measure = seconds(1.4);
+                    spec.scenario = scenario;
+                } else {
+                    exp::BaselineScenario scenario;
+                    scenario.protocol = protocol;
+                    scenario.payload_bytes = payload;
+                    scenario.rate = rate;
+                    scenario.warmup = seconds(0.6);
+                    scenario.measure = seconds(1.4);
+                    spec.scenario = scenario;
+                }
+
+                char name[80];
+                std::snprintf(name, sizeof(name), "Fig7/point/proto:%s/payload:%zu/loadpct:%d",
+                              protocol_name(protocol), payload,
+                              static_cast<int>(fraction * 100));
+                char label[96];
+                std::snprintf(label, sizeof(label), "Fig7 %-9s payload=%zuB offered=%.1fk",
+                              protocol_name(protocol), payload, rate / 1000.0);
+                harness.add_point(
+                    name, {spec},
+                    [label = std::string(label)](const std::vector<exp::RunOutput>& outs) {
+                        const exp::RunResult& result = outs[0].scenario.result;
+                        PointOutcome outcome;
+                        outcome.counters = {{"kreq_s", result.kreq_s},
+                                            {"mean_ms", result.mean_latency_ms},
+                                            {"p99_ms", result.p99_ms}};
+                        outcome.rows = {{label,
+                                         {{"kreq_s", result.kreq_s},
+                                          {"mean_ms", result.mean_latency_ms},
+                                          {"p99_ms", result.p99_ms}}}};
+                        return outcome;
+                    });
             }
         }
     }
 }
-const bool registered = (register_benches(), true);
 
 }  // namespace
 }  // namespace rbft::bench
 
-RBFT_BENCH_MAIN("Figure 7: latency vs throughput, fault-free, f=1")
+RBFT_BENCH_MAIN("fig7_latency_throughput", "Figure 7: latency vs throughput, fault-free, f=1")

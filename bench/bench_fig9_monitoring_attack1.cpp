@@ -7,41 +7,43 @@
 namespace rbft::bench {
 namespace {
 
-void fig9(benchmark::State& state) {
-    exp::ScenarioOutput attacked;
-    for (auto _ : state) {
-        exp::RbftScenario scenario;
-        scenario.payload_bytes = 4096;
-        scenario.load = exp::LoadShape::kStatic;
-        scenario.attack = exp::RbftScenario::Attack::kWorst1;
-        scenario.warmup = seconds(1.0);
-        scenario.measure = seconds(3.0);
-        attacked = run_rbft(scenario);
-    }
-    // The paper's bar chart: per correct node, master vs backup kreq/s.
-    for (std::size_t i = 0; i < attacked.node_throughputs.size(); ++i) {
-        const auto [master, backup] = attacked.node_throughputs[i];
-        char label[64];
-        std::snprintf(label, sizeof(label), "Fig9 node%zu", i);
-        add_row(label, {{"master_kreq_s", master},
-                        {"backup_kreq_s", backup},
-                        {"ratio", backup > 0 ? master / backup : 0.0}});
-        if (i == 0) {
-            state.counters["master_kreq_s"] = master;
-            state.counters["backup_kreq_s"] = backup;
-        }
-    }
-    state.counters["instance_changes"] = static_cast<double>(attacked.instance_changes);
-}
+void register_points(Harness& harness) {
+    exp::RbftScenario scenario;
+    scenario.payload_bytes = 4096;
+    scenario.load = exp::LoadShape::kStatic;
+    scenario.attack = exp::RbftScenario::Attack::kWorst1;
+    scenario.warmup = seconds(1.0);
+    scenario.measure = seconds(3.0);
 
-void register_benches() {
-    benchmark::RegisterBenchmark("Fig9/monitoring", fig9)
-        ->Iterations(1)
-        ->Unit(benchmark::kMillisecond);
+    harness.add_point("Fig9/monitoring", {exp::RunSpec{"worst-attack-1", scenario}},
+                      [](const std::vector<exp::RunOutput>& outs) {
+                          const exp::ScenarioOutput& attacked = outs[0].scenario;
+                          PointOutcome outcome;
+                          // The paper's bar chart: per correct node, master
+                          // vs backup kreq/s.
+                          for (std::size_t i = 0; i < attacked.node_throughputs.size(); ++i) {
+                              const auto [master, backup] = attacked.node_throughputs[i];
+                              char label[64];
+                              std::snprintf(label, sizeof(label), "Fig9 node%zu", i);
+                              outcome.rows.push_back(
+                                  {label,
+                                   {{"master_kreq_s", master},
+                                    {"backup_kreq_s", backup},
+                                    {"ratio", backup > 0 ? master / backup : 0.0}}});
+                              if (i == 0) {
+                                  outcome.counters.emplace_back("master_kreq_s", master);
+                                  outcome.counters.emplace_back("backup_kreq_s", backup);
+                              }
+                          }
+                          outcome.counters.emplace_back(
+                              "instance_changes",
+                              static_cast<double>(attacked.instance_changes));
+                          return outcome;
+                      });
 }
-const bool registered = (register_benches(), true);
 
 }  // namespace
 }  // namespace rbft::bench
 
-RBFT_BENCH_MAIN("Figure 9: per-node monitored throughput, worst-attack-1 (kreq/s)")
+RBFT_BENCH_MAIN("fig9_monitoring_attack1",
+                "Figure 9: per-node monitored throughput, worst-attack-1 (kreq/s)")

@@ -7,13 +7,18 @@
 // the RTT-inflation attack; Aardvark under the dynamic load (low-load
 // expectations exploited during the spike); Spinning under the static load
 // with the Stimeout-delay attack.
+#include <algorithm>
+
 #include "bench_util.hpp"
 
 namespace rbft::bench {
 namespace {
 
-double baseline_degradation(exp::Protocol protocol, exp::LoadShape load,
-                            std::size_t payload, Duration exec) {
+/// Adds a (fault-free, attacked) baseline pair in the protocol's worst
+/// configuration; the fold reports the degradation percentage.
+void add_baseline_point(Harness& harness, const char* name, std::string label,
+                        exp::Protocol protocol, exp::LoadShape load, std::size_t payload,
+                        Duration exec) {
     exp::BaselineScenario scenario;
     scenario.protocol = protocol;
     scenario.payload_bytes = payload;
@@ -24,71 +29,57 @@ double baseline_degradation(exp::Protocol protocol, exp::LoadShape load,
         scenario.measure = seconds(4.0);
     }
     scenario.attack = false;
-    const auto fault_free = run_baseline(scenario);
+    exp::RunSpec fault_free{"fault-free", scenario};
     scenario.attack = true;
-    const auto attacked = run_baseline(scenario);
-    return 100.0 - exp::relative_percent(attacked, fault_free);
+    exp::RunSpec attacked{"attacked", scenario};
+
+    harness.add_point(name, {fault_free, attacked},
+                      [label = std::move(label)](const std::vector<exp::RunOutput>& outs) {
+                          const double degradation =
+                              100.0 -
+                              exp::relative_percent(outs[1].scenario, outs[0].scenario);
+                          PointOutcome outcome;
+                          outcome.counters = {{"max_degradation_pct", degradation}};
+                          outcome.rows = {{label, {{"max_degradation_pct", degradation}}}};
+                          return outcome;
+                      });
 }
 
-void prime_worst(benchmark::State& state) {
-    double degradation = 0.0;
-    for (auto _ : state) {
-        degradation = baseline_degradation(exp::Protocol::kPrime, exp::LoadShape::kStatic, 8,
-                                           milliseconds(0.1));
-    }
-    state.counters["max_degradation_pct"] = degradation;
-    add_row("TableI Prime    (paper: 78%)", {{"max_degradation_pct", degradation}});
-}
+void register_points(Harness& harness) {
+    add_baseline_point(harness, "TableI/Prime", "TableI Prime    (paper: 78%)",
+                       exp::Protocol::kPrime, exp::LoadShape::kStatic, 8, milliseconds(0.1));
+    // Worst configuration found by the Fig. 2 sweep: small requests under
+    // the dynamic load (the spike-to-trickle ratio is largest).
+    add_baseline_point(harness, "TableI/Aardvark", "TableI Aardvark (paper: 87%)",
+                       exp::Protocol::kAardvark, exp::LoadShape::kDynamic, 8, {});
+    add_baseline_point(harness, "TableI/Spinning", "TableI Spinning (paper: 99%)",
+                       exp::Protocol::kSpinning, exp::LoadShape::kStatic, 8, {});
 
-void aardvark_worst(benchmark::State& state) {
-    double degradation = 0.0;
-    for (auto _ : state) {
-        // Worst configuration found by the Fig. 2 sweep: small requests
-        // under the dynamic load (the spike-to-trickle ratio is largest).
-        degradation =
-            baseline_degradation(exp::Protocol::kAardvark, exp::LoadShape::kDynamic, 8, {});
-    }
-    state.counters["max_degradation_pct"] = degradation;
-    add_row("TableI Aardvark (paper: 87%)", {{"max_degradation_pct", degradation}});
+    // RBFT under its own worst attacks: one fault-free run plus one run per
+    // attack; the verdict is the larger degradation.
+    exp::RbftScenario scenario;
+    scenario.payload_bytes = 8;
+    scenario.attack = exp::RbftScenario::Attack::kNone;
+    exp::RunSpec fault_free{"fault-free", scenario};
+    scenario.attack = exp::RbftScenario::Attack::kWorst1;
+    exp::RunSpec worst1{"worst-attack-1", scenario};
+    scenario.attack = exp::RbftScenario::Attack::kWorst2;
+    exp::RunSpec worst2{"worst-attack-2", scenario};
+    harness.add_point("TableI/RBFT", {fault_free, worst1, worst2},
+                      [](const std::vector<exp::RunOutput>& outs) {
+                          const exp::ScenarioOutput& ff = outs[0].scenario;
+                          const double worst = std::max(
+                              100.0 - exp::relative_percent(outs[1].scenario, ff),
+                              100.0 - exp::relative_percent(outs[2].scenario, ff));
+                          PointOutcome outcome;
+                          outcome.counters = {{"max_degradation_pct", worst}};
+                          outcome.rows = {{"TableI RBFT     (paper: ~3%)",
+                                           {{"max_degradation_pct", worst}}}};
+                          return outcome;
+                      });
 }
-
-void spinning_worst(benchmark::State& state) {
-    double degradation = 0.0;
-    for (auto _ : state) {
-        degradation =
-            baseline_degradation(exp::Protocol::kSpinning, exp::LoadShape::kStatic, 8, {});
-    }
-    state.counters["max_degradation_pct"] = degradation;
-    add_row("TableI Spinning (paper: 99%)", {{"max_degradation_pct", degradation}});
-}
-
-void rbft_worst(benchmark::State& state) {
-    double worst = 0.0;
-    for (auto _ : state) {
-        for (auto attack : {exp::RbftScenario::Attack::kWorst1,
-                            exp::RbftScenario::Attack::kWorst2}) {
-            exp::RbftScenario scenario;
-            scenario.payload_bytes = 8;
-            scenario.attack = exp::RbftScenario::Attack::kNone;
-            const auto fault_free = run_rbft(scenario);
-            scenario.attack = attack;
-            const auto attacked = run_rbft(scenario);
-            worst = std::max(worst, 100.0 - exp::relative_percent(attacked, fault_free));
-        }
-    }
-    state.counters["max_degradation_pct"] = worst;
-    add_row("TableI RBFT     (paper: ~3%)", {{"max_degradation_pct", worst}});
-}
-
-void register_benches() {
-    benchmark::RegisterBenchmark("TableI/Prime", prime_worst)->Iterations(1)->Unit(benchmark::kMillisecond);
-    benchmark::RegisterBenchmark("TableI/Aardvark", aardvark_worst)->Iterations(1)->Unit(benchmark::kMillisecond);
-    benchmark::RegisterBenchmark("TableI/Spinning", spinning_worst)->Iterations(1)->Unit(benchmark::kMillisecond);
-    benchmark::RegisterBenchmark("TableI/RBFT", rbft_worst)->Iterations(1)->Unit(benchmark::kMillisecond);
-}
-const bool registered = (register_benches(), true);
 
 }  // namespace
 }  // namespace rbft::bench
 
-RBFT_BENCH_MAIN("Table I: maximum throughput degradation under attack (%)")
+RBFT_BENCH_MAIN("table1_degradation", "Table I: maximum throughput degradation under attack (%)")

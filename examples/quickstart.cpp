@@ -17,6 +17,13 @@ int main() {
     config.f = 1;
     config.seed = 2024;
 
+    //    Logging is instance-confined: the run owns its Logger and hands the
+    //    cluster a pointer (null = silent), so concurrent runs never share
+    //    logging state.
+    Logger logger;
+    logger.set_level(LogLevel::kInfo);
+    config.logger = &logger;
+
     core::Cluster cluster(config);
     cluster.start();  // starts each node's monitoring module
 

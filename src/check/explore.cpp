@@ -4,6 +4,7 @@
 
 #include "common/rng.hpp"
 #include "exp/harness.hpp"
+#include "exp/parallel.hpp"
 #include "fault/injector.hpp"
 #include "fault/plan.hpp"
 #include "obs/recorder.hpp"
@@ -235,12 +236,27 @@ std::vector<Perturbation> shrink_schedule(const ExploreScenario& scenario, std::
 }
 
 ExploreOutcome explore(const ExploreScenario& scenario, std::uint64_t first_seed,
-                       std::uint32_t num_seeds) {
+                       std::uint32_t num_seeds, unsigned jobs) {
+    // Phase 1 — the embarrassingly parallel part: each seed's schedule is an
+    // independent deterministic simulation (own cluster, recorder, oracles),
+    // so seeds dispatch through the worker pool.  Results land in seed order
+    // regardless of completion order, so the aggregate below — and which
+    // violation gets shrunk — is identical at any job count.
+    std::vector<std::vector<Perturbation>> perturbation_sets(num_seeds);
+    std::vector<ScheduleResult> results(num_seeds);
+    exp::parallel_for(num_seeds, jobs, [&](std::size_t i) {
+        const std::uint64_t seed = first_seed + i;
+        perturbation_sets[i] = sample_perturbations(scenario, seed);
+        results[i] = run_schedule(scenario, seed, perturbation_sets[i]);
+    });
+
+    // Phase 2 — serial aggregation + first-violation shrink (ddmin is an
+    // inherently sequential bisection; violations are rare so this is cold).
     ExploreOutcome out;
     for (std::uint32_t i = 0; i < num_seeds; ++i) {
         const std::uint64_t seed = first_seed + i;
-        const std::vector<Perturbation> perturbations = sample_perturbations(scenario, seed);
-        const ScheduleResult result = run_schedule(scenario, seed, perturbations);
+        const std::vector<Perturbation>& perturbations = perturbation_sets[i];
+        const ScheduleResult& result = results[i];
         ++out.seeds_run;
         for (std::size_t o = 0; o < kOracleCount; ++o) out.checks[o] += result.checks[o];
         out.events += result.events;

@@ -118,8 +118,11 @@ struct ExploreOutcome {
 };
 
 /// Runs `num_seeds` schedules starting at `first_seed`; shrinks and
-/// packages the first violation encountered.
+/// packages the first violation encountered.  Seeds are independent
+/// deterministic runs, so they execute on up to `jobs` worker threads
+/// (exp::parallel_for); the outcome — including which violation is shrunk —
+/// is identical at any job count.
 [[nodiscard]] ExploreOutcome explore(const ExploreScenario& scenario, std::uint64_t first_seed,
-                                     std::uint32_t num_seeds);
+                                     std::uint32_t num_seeds, unsigned jobs = 1);
 
 }  // namespace rbft::check

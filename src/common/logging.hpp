@@ -1,6 +1,14 @@
-// Minimal leveled logging.
+// Minimal leveled logging, instance-confined.
 //
-// The simulator is single-threaded, so logging needs no synchronization.
+// There is deliberately no global logger: a `Logger` is owned by whoever
+// owns the run (a bench harness, an example's main(), a test) and threaded
+// through the simulation context as a nullable pointer — the same ownership
+// pattern as `obs::Recorder*`.  `core::ClusterConfig::logger` hands it to
+// `sim::Simulator::set_logger()`, from where every component holding a
+// Simulator& can reach it.  This keeps concurrent runs byte-independent:
+// N simulations on N threads each write to their own logger/sink with no
+// shared mutable state and no synchronization.
+//
 // Logs are off by default (benches and tests run silently); examples turn
 // them on to narrate protocol steps.  Output goes through a settable sink
 // (stderr by default) so tests can capture and assert on it.
@@ -19,11 +27,6 @@ enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
 class Logger {
 public:
     using Sink = std::function<void(LogLevel, std::string_view component, std::string_view message)>;
-
-    static Logger& instance() {
-        static Logger logger;
-        return logger;
-    }
 
     void set_level(LogLevel level) noexcept { level_ = level; }
     [[nodiscard]] LogLevel level() const noexcept { return level_; }
@@ -67,14 +70,17 @@ private:
     Sink sink_;
 };
 
-inline void log_info(std::string_view component, const std::string& message) {
-    Logger::instance().log(LogLevel::kInfo, component, message);
+/// Null-safe helpers for the threaded `Logger*`: a null logger (the
+/// default everywhere) means logging is disabled and the call is one
+/// pointer test.
+inline void log_info(Logger* logger, std::string_view component, const std::string& message) {
+    if (logger) logger->log(LogLevel::kInfo, component, message);
 }
-inline void log_debug(std::string_view component, const std::string& message) {
-    Logger::instance().log(LogLevel::kDebug, component, message);
+inline void log_debug(Logger* logger, std::string_view component, const std::string& message) {
+    if (logger) logger->log(LogLevel::kDebug, component, message);
 }
-inline void log_warn(std::string_view component, const std::string& message) {
-    Logger::instance().log(LogLevel::kWarn, component, message);
+inline void log_warn(Logger* logger, std::string_view component, const std::string& message) {
+    if (logger) logger->log(LogLevel::kWarn, component, message);
 }
 
 }  // namespace rbft

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <mutex>
 
 #include "attacks/attacks.hpp"
 #include "protocols/clusters.hpp"
@@ -46,8 +47,14 @@ std::shared_ptr<obs::Recorder> make_run_recorder(std::shared_ptr<obs::Recorder> 
 
 /// Exports to $RBFT_OBS_DIR when set (benches opt in without CLI changes).
 /// Successive runs of one binary overwrite: the last experiment wins.
+/// Serialized so concurrent runs on the worker pool never interleave
+/// writes to the shared metrics.json/trace.json pair.
+std::mutex export_mutex;
 void maybe_export(obs::Recorder& recorder) {
-    if (const char* dir = obs::export_dir_from_env()) recorder.export_to_dir(dir);
+    if (const char* dir = obs::export_dir_from_env()) {
+        const std::lock_guard<std::mutex> lock(export_mutex);
+        recorder.export_to_dir(dir);
+    }
 }
 
 }  // namespace

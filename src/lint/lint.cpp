@@ -555,6 +555,99 @@ void check_switch_default(const SourceFile& file, const std::vector<Token>& code
 }
 
 // ---------------------------------------------------------------------------
+// det-global-singleton.
+//
+// A `static` non-const object declared inside a function body is state that
+// outlives and spans every simulation run in the process: parallel runs race
+// on it and same-seed replay stops being byte-identical.  The walk keeps a
+// brace-scope stack — braces opened by namespace/type definitions (or a
+// brace initializer, recognisable by a preceding top-level '=') stay
+// "declaration" scope, every other brace is "code" scope — and flags any
+// `static` seen in code scope whose declaration carries no const, constexpr
+// or constinit.
+// ---------------------------------------------------------------------------
+
+[[nodiscard]] bool is_type_keyword(const Token& t) {
+    return is_ident(t, "struct") || is_ident(t, "class") || is_ident(t, "union") ||
+           is_ident(t, "enum");
+}
+
+void check_local_statics(const SourceFile& file, const std::vector<Token>& code,
+                         std::vector<Finding>& out) {
+    enum class Scope { kDecl, kCode };  // kDecl = file/namespace/type body
+    std::vector<Scope> stack;
+    std::vector<const Token*> stmt;  // tokens since the last ';' '{' '}'
+    auto current = [&] { return stack.empty() ? Scope::kDecl : stack.back(); };
+
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        const Token& t = code[i];
+        if (is_punct(t, "{")) {
+            Scope entered = Scope::kCode;  // default: a function/block body
+            for (const Token* p : stmt) {
+                if (is_type_keyword(*p) || is_ident(*p, "namespace")) {
+                    entered = Scope::kDecl;  // type or namespace body
+                    break;
+                }
+                if (current() == Scope::kDecl && is_punct(*p, "=")) {
+                    entered = Scope::kDecl;  // brace initializer of a declaration
+                    break;
+                }
+            }
+            stack.push_back(entered);
+            stmt.clear();
+            continue;
+        }
+        if (is_punct(t, "}")) {
+            if (!stack.empty()) stack.pop_back();
+            stmt.clear();
+            continue;
+        }
+        if (is_punct(t, ";")) {
+            stmt.clear();
+            continue;
+        }
+        stmt.push_back(&t);
+        if (current() != Scope::kCode || !is_ident(t, "static")) continue;
+
+        // Scan the declaration up to its first top-level terminator: const /
+        // constexpr / constinit exempt it, and the last identifier seen names
+        // the variable.  Template arguments are skipped so a `const` inside
+        // `<...>` doesn't exempt a mutable container.
+        bool immutable = false;
+        const Token* name = nullptr;
+        int angle = 0;
+        for (std::size_t j = i + 1; j < code.size(); ++j) {
+            const Token& d = code[j];
+            if (is_punct(d, "<")) {
+                ++angle;
+            } else if (is_punct(d, ">") && angle > 0 && !is_punct(code[j - 1], "-")) {
+                --angle;
+                continue;
+            }
+            if (angle != 0) continue;
+            if (is_punct(d, ";") || is_punct(d, "=") || is_punct(d, "{") || is_punct(d, "(")) {
+                break;
+            }
+            if (is_ident(d, "const") || is_ident(d, "constexpr") || is_ident(d, "constinit")) {
+                immutable = true;
+            }
+            if (d.kind == TokKind::kIdentifier) name = &d;
+        }
+        if (immutable || name == nullptr) continue;
+        out.push_back({"det-global-singleton", file.path, t.line,
+                       "function-local static '" + name->text +
+                           "' is process-wide mutable state shared across runs; thread "
+                           "per-run state through the Simulator/config instead"});
+    }
+}
+
+[[nodiscard]] bool is_singleton_scoped(const std::string& path, const Options& options) {
+    if (options.all_protocol_critical) return true;
+    for (const std::string& dir : options.singleton_dirs) {
+        if (path.find(dir) != std::string::npos) return true;
+    }
+    return false;
+}
 
 [[nodiscard]] bool is_protocol_critical(const std::string& path, const Options& options) {
     if (options.all_protocol_critical) return true;
@@ -614,6 +707,9 @@ std::vector<Finding> analyze(const std::vector<SourceFile>& files, const Options
         if (is_protocol_critical(lx.file->path, options)) {
             check_banned_idents(*lx.file, lx.code, findings);
             check_unordered_iteration(*lx.file, lx.code, unordered_names, findings);
+        }
+        if (is_singleton_scoped(lx.file->path, options)) {
+            check_local_statics(*lx.file, lx.code, findings);
         }
         check_switch_default(*lx.file, lx.code, enums, findings);
     }

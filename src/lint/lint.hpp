@@ -25,10 +25,20 @@
 //                            label, which would silently swallow a newly
 //                            added enum member instead of forcing a triage
 //                            at compile time (-Wswitch).
+//   det-global-singleton     a function-local `static` non-const object in
+//                            instance-confined code (Options::singleton_dirs):
+//                            such a static is process-wide state shared by
+//                            every simulation in the process, so parallel
+//                            runs race on it and per-seed replay breaks.
+//                            Thread per-run state through the Simulator /
+//                            config instead (const, constexpr and constinit
+//                            statics are immutable and exempt).
 //
 // Protocol-critical = any path containing one of Options::protocol_dirs
-// (default: src/{bft,rbft,protocols,net,sim,fault}).  The wire and switch
-// rules apply to every analyzed file.
+// (default: src/{bft,rbft,protocols,net,sim,fault}).  The singleton rule
+// additionally covers the experiment and common layers
+// (Options::singleton_dirs).  The wire and switch rules apply to every
+// analyzed file.
 //
 // Suppression: a `// RBFT_LINT_ALLOW(rule[,rule...])` or
 // `RBFT_LINT_ALLOW(*)` comment on the finding's line or the line above.
@@ -64,6 +74,11 @@ struct Options {
     /// Path substrings marking determinism-critical code.
     std::vector<std::string> protocol_dirs = {"/bft/",  "/rbft/", "/protocols/",
                                               "/net/",  "/sim/",  "/fault/"};
+    /// Path substrings where det-global-singleton applies: the protocol dirs
+    /// plus every layer a parallel experiment run flows through.
+    std::vector<std::string> singleton_dirs = {"/bft/", "/rbft/",  "/protocols/",
+                                               "/net/", "/sim/",   "/fault/",
+                                               "/exp/", "/common/"};
     /// Treat every input as protocol-critical (used by the fixture tests).
     bool all_protocol_critical = false;
 };

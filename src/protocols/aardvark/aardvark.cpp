@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <cstdlib>
+
+#include "common/logging.hpp"
 
 namespace rbft::protocols {
 
@@ -62,10 +63,13 @@ void AardvarkNode::tick() {
     // a load transition (queue fill) without the primary being at fault.
     if (required_tps_ > 0.0 && measured_tps < required_tps_ && demand_unmet) {
         if (++bad_windows_ < 2) return;
-        if (getenv("AARD_DEBUG")) {
-            std::fprintf(stderr, "[%u] t=%.2f VC(required) measured=%.0f required=%.0f offered=%.0f pend=%zu\n",
-                         raw(config_.id), simulator_.now().seconds(), measured_tps,
-                         required_tps_, offered_tps, engine_->pending_requests());
+        if (Logger* lg = simulator_.logger(); lg && lg->enabled(LogLevel::kDebug)) {
+            char buf[160];
+            std::snprintf(buf, sizeof(buf),
+                          "[%u] t=%.2f VC(required) measured=%.0f required=%.0f offered=%.0f pend=%zu",
+                          raw(config_.id), simulator_.now().seconds(), measured_tps,
+                          required_tps_, offered_tps, engine_->pending_requests());
+            lg->log(LogLevel::kDebug, "aardvark", buf);
         }
         trigger_view_change();
         return;
@@ -79,9 +83,11 @@ void AardvarkNode::tick() {
         const TimePoint last_sign_of_life =
             std::max(view_start_, engine_->last_preprepare_seen());
         if (simulator_.now() - last_sign_of_life > acfg_.heartbeat_timeout) {
-            if (getenv("AARD_DEBUG")) {
-                std::fprintf(stderr, "[%u] t=%.2f VC(heartbeat)\n", raw(config_.id),
-                             simulator_.now().seconds());
+            if (Logger* lg = simulator_.logger(); lg && lg->enabled(LogLevel::kDebug)) {
+                char buf[64];
+                std::snprintf(buf, sizeof(buf), "[%u] t=%.2f VC(heartbeat)", raw(config_.id),
+                              simulator_.now().seconds());
+                lg->log(LogLevel::kDebug, "aardvark", buf);
             }
             trigger_view_change();
         }

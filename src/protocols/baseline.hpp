@@ -19,6 +19,7 @@
 #include "bft/engine.hpp"
 #include "bft/messages.hpp"
 #include "common/det.hpp"
+#include "common/logging.hpp"
 #include "crypto/cost_model.hpp"
 #include "crypto/keystore.hpp"
 #include "net/flood.hpp"
@@ -51,6 +52,9 @@ struct BaselineConfig {
     /// Observability sink (copied to every node from the cluster template;
     /// must outlive the cluster).  Null = disabled.
     obs::Recorder* recorder = nullptr;
+    /// Per-run logger threaded to sim::Simulator::set_logger() (must outlive
+    /// the cluster); null = logging disabled.
+    Logger* logger = nullptr;
     /// Bounded client queues (Aardvark §III-B: fair scheduling between
     /// client and replica traffic): client requests are shed when the event
     /// loop is this far behind, so protocol messages keep bounded delay.

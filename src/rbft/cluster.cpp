@@ -12,6 +12,7 @@ Cluster::Cluster(ClusterConfig config, ServiceFactory service_factory)
         simulator_.set_metrics(&config_.recorder->metrics());
         network_->set_recorder(config_.recorder);
     }
+    simulator_.set_logger(config_.logger);
 
     for (std::uint32_t i = 0; i < config_.n(); ++i) {
         NodeConfig nc;
@@ -38,15 +39,20 @@ Cluster::Cluster(ClusterConfig config, ServiceFactory service_factory)
 }
 
 void Cluster::start() {
+    log_info(config_.logger, "cluster",
+             "starting " + std::to_string(config_.n()) + " nodes (f=" +
+                 std::to_string(config_.f) + ", seed=" + std::to_string(config_.seed) + ")");
     for (auto& node : nodes_) node->start();
 }
 
 void Cluster::crash_node(NodeId id) {
+    log_info(config_.logger, "cluster", "crash node " + std::to_string(raw(id)));
     node(id).crash();
     network_->set_node_down(id, true);
 }
 
 void Cluster::restart_node(NodeId id) {
+    log_info(config_.logger, "cluster", "restart node " + std::to_string(raw(id)));
     network_->set_node_down(id, false);
     node(id).restart();
 }

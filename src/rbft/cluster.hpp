@@ -9,6 +9,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/logging.hpp"
 #include "crypto/cost_model.hpp"
 #include "crypto/keystore.hpp"
 #include "net/network.hpp"
@@ -43,6 +44,10 @@ struct ClusterConfig {
     /// Observability sink shared by the simulator, network and every node
     /// (must outlive the cluster); null = observability disabled.
     obs::Recorder* recorder = nullptr;
+    /// Per-run logger threaded through sim::Simulator::set_logger() (must
+    /// outlive the cluster); null = logging disabled.  There is no global
+    /// logger, so concurrent clusters never share logging state.
+    Logger* logger = nullptr;
 
     [[nodiscard]] std::uint32_t n() const noexcept { return cluster_size(f); }
 };

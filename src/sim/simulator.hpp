@@ -17,6 +17,10 @@
 #include "common/time.hpp"
 #include "obs/metrics.hpp"
 
+namespace rbft {
+class Logger;
+}
+
 namespace rbft::sim {
 
 /// Identifies a scheduled event so protocol timers can be cancelled.
@@ -68,6 +72,12 @@ public:
         dispatched_counter_ = registry ? registry->counter("sim.events_dispatched") : nullptr;
     }
 
+    /// Attaches the run's logger (nullable, like the recorder): components
+    /// holding a Simulator& log through it, so concurrent simulations never
+    /// share logging state.  Null (the default) disables logging.
+    void set_logger(Logger* logger) noexcept { logger_ = logger; }
+    [[nodiscard]] Logger* logger() const noexcept { return logger_; }
+
 private:
     struct Event {
         TimePoint at;
@@ -84,6 +94,7 @@ private:
 
     TimePoint now_{};
     std::uint64_t dispatched_total_ = 0;
+    Logger* logger_ = nullptr;
     obs::Counter* scheduled_counter_ = nullptr;
     obs::Counter* dispatched_counter_ = nullptr;
     std::uint64_t next_seq_ = 0;

@@ -1,0 +1,52 @@
+// Fixture: det-global-singleton — function-local mutable statics.
+// Expected findings: exactly 3 (logger, rows, calls); everything else in
+// this file is exempt (const/constexpr, class-scope member, namespace
+// scope, static_cast/static_assert tokens).
+#include <string>
+#include <vector>
+
+struct Logger {
+    void log(const std::string&) {}
+};
+
+// Namespace-scope statics are internal linkage, not run-spanning function
+// state: not this rule's business.
+static int g_translation_unit_local = 0;
+static void helper_function();
+
+class Counter {
+  public:
+    // Class-scope static member declaration: not a function-local static.
+    static int total_;
+    int bump() { return ++total_; }
+};
+
+Logger& instance() {
+    static Logger logger;  // FLAG: the classic singleton accessor
+    return logger;
+}
+
+std::vector<int>& rows() {
+    static std::vector<int> r;  // FLAG: header-global result collector
+    return r;
+}
+
+int count_calls(int x) {
+    static int calls = 0;  // FLAG: mutable counter survives across runs
+    static_assert(sizeof(int) >= 4, "static_assert is not a static object");
+    return ++calls + static_cast<int>(x);
+}
+
+int lookup(int i) {
+    static const int table[] = {1, 2, 3};          // const: immutable, exempt
+    static constexpr double kScale = 2.0;          // constexpr: exempt
+    static const std::string kName = "fixture";    // const object: exempt
+    return static_cast<int>(table[i % 3] * kScale) + static_cast<int>(kName.size());
+}
+
+static void helper_function() {
+    if (g_translation_unit_local > 0) {
+        Counter c;
+        c.bump();
+    }
+}

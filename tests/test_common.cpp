@@ -292,30 +292,46 @@ TEST(Series, EmptyIsZero) {
 }
 
 TEST(Logging, OffIsNeverEnabled) {
-    Logger& logger = Logger::instance();
-    logger.set_level(LogLevel::kOff);
+    Logger logger;  // instance-confined: each run owns its logger
+    EXPECT_EQ(logger.level(), LogLevel::kOff);  // silent by default
     EXPECT_FALSE(logger.enabled(LogLevel::kError));
     EXPECT_FALSE(logger.enabled(LogLevel::kOff));  // kOff is a threshold, not a level
     logger.set_level(LogLevel::kInfo);
     EXPECT_FALSE(logger.enabled(LogLevel::kDebug));
     EXPECT_TRUE(logger.enabled(LogLevel::kWarn));
     EXPECT_FALSE(logger.enabled(LogLevel::kOff));  // logging *at* kOff stays discarded
-    logger.set_level(LogLevel::kOff);
 }
 
 TEST(Logging, SinkCapturesOutput) {
-    Logger& logger = Logger::instance();
+    Logger logger;
     logger.set_level(LogLevel::kInfo);
     std::vector<std::string> captured;
     logger.set_sink([&](LogLevel, std::string_view component, std::string_view message) {
         captured.push_back(std::string(component) + ": " + std::string(message));
     });
-    log_info("net", "hello");
-    log_debug("net", "filtered");  // below threshold: not delivered
-    logger.set_sink(nullptr);
-    logger.set_level(LogLevel::kOff);
+    log_info(&logger, "net", "hello");
+    log_debug(&logger, "net", "filtered");  // below threshold: not delivered
     ASSERT_EQ(captured.size(), 1u);
     EXPECT_EQ(captured[0], "net: hello");
+}
+
+TEST(Logging, NullLoggerIsSafe) {
+    log_info(nullptr, "net", "dropped");  // null logger = logging disabled
+    log_warn(nullptr, "net", "dropped");
+}
+
+TEST(Logging, TwoLoggersAreIndependent) {
+    Logger a;
+    Logger b;
+    a.set_level(LogLevel::kInfo);
+    std::vector<std::string> captured_a;
+    a.set_sink([&](LogLevel, std::string_view, std::string_view message) {
+        captured_a.emplace_back(message);
+    });
+    log_info(&a, "x", "to-a");
+    log_info(&b, "x", "to-b");  // b is still kOff and has no sink
+    ASSERT_EQ(captured_a.size(), 1u);
+    EXPECT_EQ(captured_a[0], "to-a");
 }
 
 }  // namespace

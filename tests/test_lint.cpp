@@ -96,6 +96,38 @@ TEST(LintFixtures, SwitchDefaultOverEnumFlagged) {
     EXPECT_NE(findings[0].message.find("Phase"), std::string::npos) << findings[0].message;
 }
 
+TEST(LintFixtures, LocalStaticsFlaggedUnlessImmutable) {
+    const auto findings = analyze_fixture("local_static.cpp");
+    EXPECT_EQ(count_rule(findings, "det-global-singleton"), 3) << lint::to_json(findings);
+    EXPECT_EQ(findings.size(), 3u) << lint::to_json(findings);
+    bool saw_logger = false;
+    bool saw_rows = false;
+    bool saw_calls = false;
+    for (const auto& f : findings) {
+        saw_logger |= f.message.find("'logger'") != std::string::npos;
+        saw_rows |= f.message.find("'r'") != std::string::npos;
+        saw_calls |= f.message.find("'calls'") != std::string::npos;
+    }
+    EXPECT_TRUE(saw_logger && saw_rows && saw_calls) << lint::to_json(findings);
+}
+
+TEST(LintFixtures, SingletonDirGateCoversExpButNotTools) {
+    // The singleton rule reaches the experiment layer (which the determinism
+    // rules don't cover) but still skips tool code.
+    lint::Options options;  // default dirs, all_protocol_critical off
+    const char* body =
+        "int& counter() {\n"
+        "    static int n = 0;\n"
+        "    return n;\n"
+        "}\n";
+    const lint::SourceFile exp_file{"src/exp/sweep_extra.cpp", body};
+    const lint::SourceFile tool_file{"tools/plot_helper.cpp", body};
+    const auto findings = lint::analyze({exp_file, tool_file}, options);
+    ASSERT_EQ(findings.size(), 1u) << lint::to_json(findings);
+    EXPECT_EQ(findings[0].rule, "det-global-singleton");
+    EXPECT_EQ(findings[0].file, "src/exp/sweep_extra.cpp");
+}
+
 TEST(LintFixtures, AllowCommentsSuppressBothForms) {
     const auto findings = analyze_fixture("suppressed.cpp");
     EXPECT_TRUE(findings.empty()) << lint::to_json(findings);

@@ -5,9 +5,13 @@
 // is shrunk to a minimal failing schedule and written as a replayable JSON
 // artifact (`trace_inspect replay <artifact>` re-runs it).
 //
-//   check_explore [--seeds N] [--first-seed S] [--f F] [--duration-ms MS]
-//                 [--clients C] [--max-perturbations P] [--artifact PATH]
-//                 [--equivocate-mask M] [--prepare-quorum Q] [--commit-quorum Q]
+//   check_explore [--seeds N] [--first-seed S] [--jobs J] [--f F]
+//                 [--duration-ms MS] [--clients C] [--max-perturbations P]
+//                 [--artifact PATH] [--equivocate-mask M] [--prepare-quorum Q]
+//                 [--commit-quorum Q]
+//
+// Seeds run on up to J worker threads (default: hardware concurrency); the
+// outcome is byte-identical at any job count.
 //
 // Exit codes: 0 = all seeds clean, 1 = violation found (artifact written),
 // 2 = usage error.
@@ -19,11 +23,13 @@
 
 #include "check/artifact.hpp"
 #include "check/explore.hpp"
+#include "exp/parallel.hpp"
 
 int main(int argc, char** argv) {
     rbft::check::ExploreScenario scenario;
     std::uint64_t first_seed = 1;
     std::uint32_t num_seeds = 10;
+    unsigned jobs = rbft::exp::default_jobs();
     const char* artifact_path = "violation.json";
 
     for (int i = 1; i < argc; ++i) {
@@ -37,6 +43,8 @@ int main(int argc, char** argv) {
             num_seeds = static_cast<std::uint32_t>(v);
         } else if (std::strcmp(argv[i], "--first-seed") == 0 && next_u64(v)) {
             first_seed = v;
+        } else if (std::strcmp(argv[i], "--jobs") == 0 && next_u64(v)) {
+            jobs = v > 0 ? static_cast<unsigned>(v) : jobs;
         } else if (std::strcmp(argv[i], "--f") == 0 && next_u64(v)) {
             scenario.f = static_cast<std::uint32_t>(v);
         } else if (std::strcmp(argv[i], "--duration-ms") == 0 && next_u64(v)) {
@@ -55,8 +63,8 @@ int main(int argc, char** argv) {
             scenario.test_faults.commit_quorum_override = static_cast<std::uint32_t>(v);
         } else {
             std::fprintf(stderr,
-                         "usage: check_explore [--seeds N] [--first-seed S] [--f F] "
-                         "[--duration-ms MS] [--clients C] [--max-perturbations P] "
+                         "usage: check_explore [--seeds N] [--first-seed S] [--jobs J] "
+                         "[--f F] [--duration-ms MS] [--clients C] [--max-perturbations P] "
                          "[--artifact PATH] [--equivocate-mask M] [--prepare-quorum Q] "
                          "[--commit-quorum Q]\n");
             return 2;
@@ -64,10 +72,10 @@ int main(int argc, char** argv) {
     }
 
     std::printf("exploring %u seed(s) from %llu: f=%u, n=%u, %.0f ms per schedule, "
-                "<=%u perturbations\n",
+                "<=%u perturbations, %u job(s)\n",
                 num_seeds, static_cast<unsigned long long>(first_seed), scenario.f,
                 3 * scenario.f + 1, scenario.duration.seconds() * 1e3,
-                scenario.max_perturbations);
+                scenario.max_perturbations, jobs);
     if (scenario.test_faults.any()) {
         std::printf("planted faults: equivocate_mask=%llx prepare_quorum=%u commit_quorum=%u\n",
                     static_cast<unsigned long long>(scenario.test_faults.equivocate_mask),
@@ -76,7 +84,7 @@ int main(int argc, char** argv) {
     }
 
     const rbft::check::ExploreOutcome outcome =
-        rbft::check::explore(scenario, first_seed, num_seeds);
+        rbft::check::explore(scenario, first_seed, num_seeds, jobs);
 
     std::printf("ran %llu seed(s): %llu events, %llu requests completed\n",
                 static_cast<unsigned long long>(outcome.seeds_run),
