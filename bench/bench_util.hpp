@@ -18,16 +18,19 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <functional>
+#include <map>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "exp/parallel.hpp"
 #include "exp/runners.hpp"
+#include "obs/prof.hpp"
 
 namespace rbft::bench {
 
@@ -37,6 +40,13 @@ struct Row {
     std::vector<std::pair<std::string, double>> values;
 };
 
+/// Per-zone wall-clock time of a profiled point (schema v2 "wall" block).
+struct WallZone {
+    std::string path;
+    std::uint64_t self_ns = 0;
+    std::uint64_t total_ns = 0;
+};
+
 /// What a point's fold produced from its runs.
 struct PointOutcome {
     std::vector<Row> rows;
@@ -44,6 +54,36 @@ struct PointOutcome {
     std::vector<std::pair<std::string, double>> counters;
     /// Free-form lines printed after the summary (e.g. Fig. 12's series).
     std::vector<std::string> notes;
+
+    // -- Optional profiling blocks (schema v2; omitted from the artifact
+    //    when empty, so unprofiled benches keep their v1-shaped points). ----
+
+    /// Deterministic profile: profiler counters and per-zone call counts,
+    /// both aggregated over node/instance scopes.  Pure functions of the
+    /// run seeds — byte-identical across identical-seed artifact writes.
+    std::vector<std::pair<std::string, std::uint64_t>> profile_counters;
+    std::vector<std::pair<std::string, std::uint64_t>> profile_zone_calls;
+    /// Wall-derived rates (events_per_sec, requests_per_sec_wall, ...).
+    /// Host-dependent: never byte-compared, but gated by tools/bench_diff.py.
+    std::vector<std::pair<std::string, double>> perf;
+    /// Per-zone wall self/total time (host-dependent, non-compared).
+    std::vector<WallZone> wall_zones;
+
+    /// Fills the profiling blocks from a run's live profiler: counters and
+    /// zone calls into the deterministic block, zone times into `wall_zones`.
+    void capture_profile(const obs::prof::Profiler& profiler) {
+        std::map<std::string, std::uint64_t> counter_agg;
+        for (const auto& [key, counter] : profiler.counters()) {
+            counter_agg[key.name] += counter.value();
+        }
+        for (const auto& [name, value] : counter_agg) {
+            profile_counters.emplace_back(name, value);
+        }
+        for (const auto& [path, agg] : profiler.zones_by_path()) {
+            profile_zone_calls.emplace_back(path, agg.calls);
+            wall_zones.push_back(WallZone{path, agg.wall_self_ns, agg.wall_total_ns});
+        }
+    }
 };
 
 /// One experimental point: a benchmark name, the runs it needs, and the
@@ -179,6 +219,49 @@ private:
         out += '"';
     }
 
+    /// The optional v2 point blocks: ",\"profile\":{...}" (deterministic),
+    /// ",\"perf\":{...}" and ",\"wall\":{...}" (host-dependent).
+    static void append_profile_blocks(std::string& json, const PointOutcome& outcome) {
+        if (!outcome.profile_counters.empty() || !outcome.profile_zone_calls.empty()) {
+            json += ",\"profile\":{\"counters\":{";
+            for (std::size_t i = 0; i < outcome.profile_counters.size(); ++i) {
+                if (i) json += ',';
+                append_escaped(json, outcome.profile_counters[i].first);
+                json += ':' + std::to_string(outcome.profile_counters[i].second);
+            }
+            json += "},\"zones\":[";
+            for (std::size_t i = 0; i < outcome.profile_zone_calls.size(); ++i) {
+                if (i) json += ',';
+                json += "{\"path\":";
+                append_escaped(json, outcome.profile_zone_calls[i].first);
+                json += ",\"calls\":" + std::to_string(outcome.profile_zone_calls[i].second) + "}";
+            }
+            json += "]}";
+        }
+        if (!outcome.perf.empty()) {
+            json += ",\"perf\":{";
+            for (std::size_t i = 0; i < outcome.perf.size(); ++i) {
+                if (i) json += ',';
+                append_escaped(json, outcome.perf[i].first);
+                json += ':';
+                append_number(json, outcome.perf[i].second);
+            }
+            json += "}";
+        }
+        if (!outcome.wall_zones.empty()) {
+            json += ",\"wall\":{\"zones\":[";
+            for (std::size_t i = 0; i < outcome.wall_zones.size(); ++i) {
+                if (i) json += ',';
+                const WallZone& z = outcome.wall_zones[i];
+                json += "{\"path\":";
+                append_escaped(json, z.path);
+                json += ",\"self_ns\":" + std::to_string(z.self_ns);
+                json += ",\"total_ns\":" + std::to_string(z.total_ns) + "}";
+            }
+            json += "]}";
+        }
+    }
+
     static void append_number(std::string& out, double v) {
         if (!std::isfinite(v)) {
             out += "0";
@@ -189,11 +272,13 @@ private:
         out += buf;
     }
 
-    /// BENCH_<name>.json, schema rbft-bench-v1.  Every field is
-    /// deterministic for a given build except wall_time_s.
+    /// BENCH_<name>.json, schema rbft-bench-v2 (v1 plus optional per-point
+    /// "profile" / "perf" / "wall" blocks).  Every field is deterministic
+    /// for a given build except wall_time_s, the perf rates, and the wall
+    /// zone times.
     void write_artifact(unsigned jobs, const std::vector<exp::RunOutput>& outputs,
                         const std::vector<std::size_t>& first_spec) const {
-        std::string json = "{\"schema\":\"rbft-bench-v1\",\"bench\":";
+        std::string json = "{\"schema\":\"rbft-bench-v2\",\"bench\":";
         append_escaped(json, bench_name_);
         json += ",\"title\":";
         append_escaped(json, title_);
@@ -237,7 +322,9 @@ private:
                 }
                 json += "}}";
             }
-            json += "]}";
+            json += "]";
+            append_profile_blocks(json, outcomes_[p]);
+            json += "}";
         }
         json += "]}\n";
 

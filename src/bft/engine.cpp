@@ -21,6 +21,7 @@ InstanceEngine::InstanceEngine(EngineConfig config, sim::Simulator& simulator, s
     if (config_.retry_interval.ns > 0) {
         retry_timer_.start(simulator_, config_.retry_interval, [this] { retry_stalled(); });
     }
+    profiler_ = recorder_ ? recorder_->profiler() : nullptr;
     if (recorder_) {
         obs::MetricsRegistry& reg = recorder_->metrics();
         const std::uint32_t node = raw(config_.node);
@@ -39,6 +40,7 @@ Digest InstanceEngine::batch_digest(const std::vector<RequestRef>& batch) const 
     for (const auto& ref : batch) {
         hasher.update(BytesView(ref.digest.bytes.data(), ref.digest.bytes.size()));
     }
+    keys_.note_digest();
     return hasher.finish();
 }
 
@@ -200,9 +202,8 @@ void InstanceEngine::form_and_send_preprepare(std::vector<RequestRef> batch) {
     if (config_.order_full_requests) {
         for (const auto& ref : pp->batch) pp->embedded_payload_bytes += ref.payload_bytes;
     }
-    pp->auth = crypto::make_authenticator(
-        keys_, crypto::Principal::node(config_.node), config_.n,
-        BytesView(pp->batch_digest.bytes.data(), pp->batch_digest.bytes.size()));
+    pp->auth = crypto::make_authenticator(keys_, crypto::Principal::node(config_.node),
+                                          config_.n, pp->batch_digest);
     pp->corrupt_mac_mask = behavior_.corrupt_preprepare_mac_mask;
 
     // Generation cost: hash the batch (identifiers + any embedded payload)
@@ -232,9 +233,8 @@ void InstanceEngine::form_and_send_preprepare(std::vector<RequestRef> batch) {
         if (config_.order_full_requests) {
             variant->embedded_payload_bytes += variant->batch.back().payload_bytes;
         }
-        variant->auth = crypto::make_authenticator(
-            keys_, crypto::Principal::node(config_.node), config_.n,
-            BytesView(variant->batch_digest.bytes.data(), variant->batch_digest.bytes.size()));
+        variant->auth = crypto::make_authenticator(keys_, crypto::Principal::node(config_.node),
+                                                   config_.n, variant->batch_digest);
         for (std::uint32_t i = 0; i < config_.n; ++i) {
             const NodeId dest{i};
             if (dest == config_.node) continue;
@@ -254,6 +254,7 @@ void InstanceEngine::form_and_send_preprepare(std::vector<RequestRef> batch) {
 
 void InstanceEngine::on_message(NodeId from, const net::MessagePtr& m) {
     if (silent_replica_) return;  // Byzantine-silent replica ignores traffic
+    obs::prof::Scope zone(profiler_, "bft.on_message", raw(config_.node), raw(config_.instance));
 
     // Verification cost depends on message type; charged before logic runs.
     Duration cost = costs_.recv_overhead;
@@ -387,9 +388,8 @@ void InstanceEngine::accept_pre_prepare(const PrePrepareMsg& m) {
         prep->seq = m.seq;
         prep->batch_digest = m.batch_digest;
         prep->replica = config_.node;
-        prep->auth = crypto::make_authenticator(
-            keys_, crypto::Principal::node(config_.node), config_.n,
-            BytesView(m.batch_digest.bytes.data(), m.batch_digest.bytes.size()));
+        prep->auth = crypto::make_authenticator(keys_, crypto::Principal::node(config_.node),
+                                                config_.n, m.batch_digest);
         core_.charge(simulator_, costs_.digest(prep->wire_size()) +
                                      costs_.authenticator_ops(config_.n));
         s.prepares.insert(config_.node);
@@ -426,9 +426,8 @@ void InstanceEngine::try_prepare(SeqNum seq) {
     commit->seq = seq;
     commit->batch_digest = s.pre_prepare->batch_digest;
     commit->replica = config_.node;
-    commit->auth = crypto::make_authenticator(
-        keys_, crypto::Principal::node(config_.node), config_.n,
-        BytesView(commit->batch_digest.bytes.data(), commit->batch_digest.bytes.size()));
+    commit->auth = crypto::make_authenticator(keys_, crypto::Principal::node(config_.node),
+                                              config_.n, commit->batch_digest);
     core_.charge(simulator_, costs_.digest(commit->wire_size()) +
                                  costs_.authenticator_ops(config_.n));
     s.sent_commit = true;
@@ -553,9 +552,8 @@ void InstanceEngine::maybe_checkpoint() {
     cp->view = view_;
     cp->cpi = host_.host_cpi();
     cp->executed = executed;
-    cp->auth = crypto::make_authenticator(
-        keys_, crypto::Principal::node(config_.node), config_.n,
-        BytesView(cp->state_digest.bytes.data(), cp->state_digest.bytes.size()));
+    cp->auth = crypto::make_authenticator(keys_, crypto::Principal::node(config_.node),
+                                          config_.n, cp->state_digest);
     core_.charge(simulator_, costs_.digest(cp->wire_size()) +
                                  costs_.authenticator_ops(config_.n));
     checkpoint_votes_[executed].insert(config_.node);
@@ -579,9 +577,8 @@ void InstanceEngine::rebroadcast_checkpoint() {
     cp->view = view_;
     cp->cpi = host_.host_cpi();
     cp->executed = raw(next_deliver_) - 1;
-    cp->auth = crypto::make_authenticator(
-        keys_, crypto::Principal::node(config_.node), config_.n,
-        BytesView(cp->state_digest.bytes.data(), cp->state_digest.bytes.size()));
+    cp->auth = crypto::make_authenticator(keys_, crypto::Principal::node(config_.node),
+                                          config_.n, cp->state_digest);
     core_.charge(simulator_, costs_.digest(cp->wire_size()) +
                                  costs_.authenticator_ops(config_.n));
     broadcast(cp, Duration{});
@@ -661,9 +658,8 @@ void InstanceEngine::broadcast_phase_copy(const Slot& s, SeqNum seq, PhaseMsg::P
     ph->seq = seq;
     ph->batch_digest = s.pre_prepare->batch_digest;
     ph->replica = config_.node;
-    ph->auth = crypto::make_authenticator(
-        keys_, crypto::Principal::node(config_.node), config_.n,
-        BytesView(ph->batch_digest.bytes.data(), ph->batch_digest.bytes.size()));
+    ph->auth = crypto::make_authenticator(keys_, crypto::Principal::node(config_.node),
+                                          config_.n, ph->batch_digest);
     core_.charge(simulator_,
                  costs_.digest(ph->wire_size()) + costs_.authenticator_ops(config_.n));
     broadcast(ph, Duration{});
@@ -900,9 +896,8 @@ void InstanceEngine::install_view(ViewId v, const std::vector<PreparedProof>& re
         pp.seq = proof.seq;
         pp.batch = proof.batch;
         pp.batch_digest = proof.batch_digest;
-        pp.auth = crypto::make_authenticator(
-            keys_, crypto::Principal::node(primary_of(v)), config_.n,
-            BytesView(pp.batch_digest.bytes.data(), pp.batch_digest.bytes.size()));
+        pp.auth = crypto::make_authenticator(keys_, crypto::Principal::node(primary_of(v)),
+                                             config_.n, pp.batch_digest);
         slots_[raw(proof.seq)] = std::move(fresh);
         accept_pre_prepare(pp);
     }

@@ -339,6 +339,7 @@ private:
 
     // Observability handles (null when no recorder is attached).
     obs::Recorder* recorder_ = nullptr;
+    obs::prof::Profiler* profiler_ = nullptr;
     obs::Counter* ctr_preprepares_sent_ = nullptr;
     obs::Counter* ctr_preprepares_accepted_ = nullptr;
     obs::Counter* ctr_batches_delivered_ = nullptr;

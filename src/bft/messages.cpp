@@ -72,11 +72,12 @@ RequestRef RequestRef::decode(net::WireReader& r) {
     return ref;
 }
 
-Bytes RequestMsg::signed_bytes() const {
+Bytes RequestMsg::signed_bytes(net::WireStats* stats) const {
     net::WireWriter w;
     w.u32(raw(client));
     w.u64(raw(rid));
     w.bytes(payload);
+    if (stats) *stats = w.stats();
     return w.take();
 }
 

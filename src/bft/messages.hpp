@@ -77,8 +77,10 @@ public:
                net::authenticator_bytes(static_cast<std::uint32_t>(auth.macs.size()));
     }
 
-    /// Bytes covered by the client signature (operation + ids).
-    [[nodiscard]] Bytes signed_bytes() const;
+    /// Bytes covered by the client signature (operation + ids).  `stats`
+    /// (optional) receives the serialization cost for the profiler's
+    /// wire-path accounting.
+    [[nodiscard]] Bytes signed_bytes(net::WireStats* stats = nullptr) const;
 
     void encode(net::WireWriter& w) const;
     static RequestMsg decode(net::WireReader& r);

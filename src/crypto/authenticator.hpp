@@ -21,11 +21,25 @@ struct MacAuthenticator {
     auto operator<=>(const MacAuthenticator&) const = default;
 };
 
-/// Computes one MAC per node in [0, node_count).
+/// Computes one MAC per node in [0, node_count) over a body digest the
+/// caller already holds.  This is the memoized fast path: protocol code
+/// computes each request/batch digest once and reuses it across all f+1
+/// instances, so authenticator construction adds MACs but no body hashing
+/// (CryptoStats::digests_computed proves it).
+[[nodiscard]] MacAuthenticator make_authenticator(const KeyStore& keys, Principal sender,
+                                                  std::uint32_t node_count,
+                                                  const Digest& body_digest);
+
+/// Hash-then-MAC convenience for callers holding only the raw body: digests
+/// `data` once (tallied), then delegates to the Digest overload.
 [[nodiscard]] MacAuthenticator make_authenticator(const KeyStore& keys, Principal sender,
                                                   std::uint32_t node_count, BytesView data);
 
 /// Verifies the entry addressed to `receiver`; out-of-range entries fail.
+[[nodiscard]] bool verify_authenticator(const KeyStore& keys, const MacAuthenticator& auth,
+                                        NodeId receiver, const Digest& body_digest);
+
+/// Hash-then-MAC counterpart of the BytesView make_authenticator overload.
 [[nodiscard]] bool verify_authenticator(const KeyStore& keys, const MacAuthenticator& auth,
                                         NodeId receiver, BytesView data);
 

@@ -34,23 +34,39 @@ SymmetricKey KeyStore::pairwise_key(Principal a, Principal b) const {
     // Canonical order so key(a,b) == key(b,a).
     Principal lo = a, hi = b;
     if (hi < lo) std::swap(lo, hi);
+    if (const auto it = pairwise_cache_.find({lo, hi}); it != pairwise_cache_.end()) {
+        stats_.key_cache_hits += 1;
+        return it->second;
+    }
     Bytes label = to_bytes("pairwise:");
     append_principal(label, lo);
     append_principal(label, hi);
-    return derive(root_, label);
+    const SymmetricKey key = derive(root_, label);
+    stats_.keys_derived += 1;
+    pairwise_cache_.emplace(std::make_pair(lo, hi), key);
+    return key;
 }
 
 SymmetricKey KeyStore::signing_key(Principal p) const {
+    if (const auto it = signing_cache_.find(p); it != signing_cache_.end()) {
+        stats_.key_cache_hits += 1;
+        return it->second;
+    }
     Bytes label = to_bytes("signing:");
     append_principal(label, p);
-    return derive(root_, label);
+    const SymmetricKey key = derive(root_, label);
+    stats_.keys_derived += 1;
+    signing_cache_.emplace(p, key);
+    return key;
 }
 
 Signature KeyStore::sign(Principal p, BytesView data) const {
+    stats_.sigs_computed += 1;
     return Signature{p, hmac_sha256(signing_key(p), data)};
 }
 
 bool KeyStore::verify(const Signature& sig, BytesView data) const {
+    stats_.sigs_computed += 1;
     const Digest expected = hmac_sha256(signing_key(sig.signer), data);
     std::uint8_t diff = 0;
     for (std::size_t i = 0; i < expected.bytes.size(); ++i) {

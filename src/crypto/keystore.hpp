@@ -17,8 +17,10 @@
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
+#include <utility>
 
 #include "common/bytes.hpp"
+#include "common/det.hpp"
 #include "common/types.hpp"
 #include "crypto/hmac.hpp"
 
@@ -52,12 +54,27 @@ struct Signature {
     auto operator<=>(const Signature&) const = default;
 };
 
+/// Deterministic tally of *real* crypto work performed through a keystore
+/// (as opposed to the simulated CPU charges of crypto::CostModel).  Pure
+/// function of the run seed, so the profiler exports these in its
+/// byte-comparable block; ROADMAP item 3 ("authenticator fast path") is
+/// about driving these numbers down without changing results.
+struct CryptoStats {
+    std::uint64_t digests_computed = 0;  // one-shot SHA-256 over message bodies
+    std::uint64_t macs_computed = 0;     // HMAC computations (incl. verification)
+    std::uint64_t sigs_computed = 0;     // simulated sign/verify HMACs
+    std::uint64_t keys_derived = 0;      // HKDF-style derivations actually run
+    std::uint64_t key_cache_hits = 0;    // derivations avoided by the memo
+};
+
 class KeyStore {
 public:
     /// Derives all keys deterministically from `master_secret`.
     explicit KeyStore(std::uint64_t master_secret) noexcept;
 
     /// Symmetric key shared between `a` and `b` (order-independent).
+    /// Derivations are memoized: the first call per pair runs the HKDF, every
+    /// later call is a map hit (`CryptoStats::key_cache_hits`).
     [[nodiscard]] SymmetricKey pairwise_key(Principal a, Principal b) const;
 
     /// Signs `data` on behalf of `p`.
@@ -66,10 +83,25 @@ public:
     /// Verifies that `sig` is `sig.signer`'s signature over `data`.
     [[nodiscard]] bool verify(const Signature& sig, BytesView data) const;
 
+    // -- Work accounting ------------------------------------------------------
+
+    [[nodiscard]] const CryptoStats& stats() const noexcept { return stats_; }
+
+    /// Tally hooks for crypto work done *with* keystore material but outside
+    /// it (authenticator MACs, body digests).  const because callers hold
+    /// `const KeyStore&`; the tally is observability, not key state.
+    void note_digest(std::uint64_t n = 1) const noexcept { stats_.digests_computed += n; }
+    void note_mac(std::uint64_t n = 1) const noexcept { stats_.macs_computed += n; }
+
 private:
     [[nodiscard]] SymmetricKey signing_key(Principal p) const;
 
     SymmetricKey root_{};
+    // Memoized derivations.  mutable: caching and tallying do not change the
+    // observable key material (same master secret -> same keys either way).
+    mutable det::map<std::pair<Principal, Principal>, SymmetricKey> pairwise_cache_;
+    mutable det::map<Principal, SymmetricKey> signing_cache_;
+    mutable CryptoStats stats_;
 };
 
 }  // namespace rbft::crypto

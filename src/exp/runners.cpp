@@ -37,12 +37,32 @@ CapacityCoeffs coeffs(Protocol protocol) {
 
 Duration dynamic_stage() { return milliseconds(200.0); }
 
-/// Scenario-supplied recorder, or a fresh one.  Tracing is switched on when
-/// an export directory is configured so trace.json comes out non-empty.
+/// Scenario-supplied recorder, or a fresh one.  Tracing and profiling are
+/// switched on when an export directory is configured so trace.json and
+/// profile.json come out non-empty.  This runs before the cluster is
+/// constructed, which matters: components cache the profiler pointer at
+/// wiring time.
 std::shared_ptr<obs::Recorder> make_run_recorder(std::shared_ptr<obs::Recorder> supplied) {
     auto recorder = supplied ? std::move(supplied) : std::make_shared<obs::Recorder>();
-    if (obs::export_dir_from_env() && !recorder->tracing()) recorder->enable_trace();
+    if (obs::export_dir_from_env()) {
+        if (!recorder->tracing()) recorder->enable_trace();
+        recorder->enable_profiling();
+    }
     return recorder;
+}
+
+/// Folds the keystore's deterministic crypto-work tally into the profile
+/// ("crypto.digests_computed" etc.), so profile.json carries the satellite
+/// counters the memoization work is measured by.
+void bridge_crypto_stats(obs::Recorder& recorder, const crypto::KeyStore& keys) {
+    obs::prof::Profiler* profiler = recorder.profiler();
+    if (!profiler) return;
+    const crypto::CryptoStats& stats = keys.stats();
+    profiler->counter("crypto.digests_computed")->add(stats.digests_computed);
+    profiler->counter("crypto.macs_computed")->add(stats.macs_computed);
+    profiler->counter("crypto.sigs_computed")->add(stats.sigs_computed);
+    profiler->counter("crypto.keys_derived")->add(stats.keys_derived);
+    profiler->counter("crypto.key_cache_hits")->add(stats.key_cache_hits);
 }
 
 /// Exports to $RBFT_OBS_DIR when set (benches opt in without CLI changes).
@@ -179,6 +199,7 @@ ScenarioOutput run_rbft(const RbftScenario& scenario) {
         out.node_throughputs.emplace_back(master_n ? master_sum / master_n : 0.0,
                                           backup_n ? backup_sum / backup_n : 0.0);
     }
+    bridge_crypto_stats(*recorder, cluster.keys());
     maybe_export(*recorder);
     return out;
 }
@@ -250,6 +271,7 @@ ScenarioOutput drive_baseline(Cluster& cluster, AttackT* attack,
     ScenarioOutput out;
     out.recorder = recorder;
     out.result = measure_window(recorder->metrics(), window_from, window_to);
+    bridge_crypto_stats(*recorder, cluster.keys());
     return out;
 }
 

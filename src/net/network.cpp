@@ -22,6 +22,9 @@ void Network::set_recorder(obs::Recorder* recorder) {
     closed_drop_counter_ = reg ? reg->counter("net.dropped_closed_nic") : nullptr;
     fault_drop_counter_ = reg ? reg->counter("net.dropped_fault") : nullptr;
     duplicate_counter_ = reg ? reg->counter("net.messages_duplicated") : nullptr;
+    profiler_ = recorder ? recorder->profiler() : nullptr;
+    prof_messages_ = profiler_ ? profiler_->counter("net.messages_sent") : nullptr;
+    prof_bytes_ = profiler_ ? profiler_->counter("net.bytes_sent") : nullptr;
 }
 
 void Network::set_link_fault(Address from, Address to, const LinkFault& fault) {
@@ -142,6 +145,7 @@ Nic& Network::nic(NodeId owner, Address remote) {
 
 void Network::send(Address from, Address to, MessagePtr message) {
     assert(message != nullptr);
+    obs::prof::Scope zone(profiler_, "net.send");
     const ChannelParams& params = params_for(from, to);
     const std::size_t bytes = message->wire_size() + params.framing_bytes;
 
@@ -150,6 +154,10 @@ void Network::send(Address from, Address to, MessagePtr message) {
     if (messages_counter_) {
         messages_counter_->add();
         bytes_counter_->add(bytes);
+    }
+    if (prof_messages_) {
+        prof_messages_->add();
+        prof_bytes_->add(bytes);
     }
 
     // Self-delivery: loopback, no NIC involvement, tiny constant latency.
@@ -230,6 +238,7 @@ void Network::deliver(Address from, Address to, const MessagePtr& message, std::
         auto it = nodes_.find(to.index);
         if (it == nodes_.end() || !it->second.handler) return;
         simulator_.schedule_at(arrival, [this, to, from, message, bytes, arrival] {
+            obs::prof::Scope zone(profiler_, "net.deliver", to.index);
             auto port = nodes_.find(to.index);
             if (port == nodes_.end() || !port->second.handler) return;
             Nic& rx = nic(NodeId{to.index}, from);
@@ -258,6 +267,7 @@ void Network::deliver(Address from, Address to, const MessagePtr& message, std::
         auto it = clients_.find(to.index);
         if (it == clients_.end() || !it->second.handler) return;
         simulator_.schedule_at(arrival, [this, to, from, message, bytes, arrival] {
+            obs::prof::Scope zone(profiler_, "net.deliver");
             auto port = clients_.find(to.index);
             if (port == clients_.end() || !port->second.handler) return;
             Nic& rx = port->second.nic;

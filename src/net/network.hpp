@@ -225,6 +225,9 @@ private:
     static constexpr std::uint32_t kIsolated = 0xFFFFFFFFu;
     static constexpr std::uint64_t kNicSampleStride = 64;
     obs::Recorder* recorder_ = nullptr;
+    obs::prof::Profiler* profiler_ = nullptr;
+    obs::Counter* prof_messages_ = nullptr;
+    obs::Counter* prof_bytes_ = nullptr;
     obs::Counter* messages_counter_ = nullptr;
     obs::Counter* bytes_counter_ = nullptr;
     obs::Counter* lost_counter_ = nullptr;

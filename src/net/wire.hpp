@@ -19,19 +19,35 @@
 
 namespace rbft::net {
 
+/// Deterministic buffer-cost accounting for the wire path: how many bytes
+/// were appended/extracted and how many heap (re)allocations the underlying
+/// buffer performed.  Pure functions of the encoded data, so they belong in
+/// the profiler's byte-comparable block.
+struct WireStats {
+    std::uint64_t bytes_copied = 0;
+    std::uint64_t allocs = 0;
+};
+
 class WireWriter {
 public:
-    void u8(std::uint8_t v) { buf_.push_back(v); }
+    void u8(std::uint8_t v) {
+        note_append(1);
+        buf_.push_back(v);
+    }
     void u16(std::uint16_t v) { put_le(v); }
     void u32(std::uint32_t v) { put_le(v); }
     void u64(std::uint64_t v) { put_le(v); }
 
     void bytes(BytesView b) {
         u32(static_cast<std::uint32_t>(b.size()));
+        note_append(b.size());
         buf_.insert(buf_.end(), b.begin(), b.end());
     }
 
-    void raw(BytesView b) { buf_.insert(buf_.end(), b.begin(), b.end()); }
+    void raw(BytesView b) {
+        note_append(b.size());
+        buf_.insert(buf_.end(), b.begin(), b.end());
+    }
 
     void digest(const Digest& d) { raw(BytesView(d.bytes.data(), d.bytes.size())); }
 
@@ -39,15 +55,28 @@ public:
     [[nodiscard]] Bytes take() noexcept { return std::move(buf_); }
     [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
 
+    /// Bytes appended and buffer growths since construction.
+    [[nodiscard]] WireStats stats() const noexcept { return stats_; }
+
 private:
+    /// Counts `n` appended bytes and whether this append grows the buffer.
+    /// vector growth is geometric and deterministic for a given libstdc++,
+    /// but the byte count is the portable deterministic signal.
+    void note_append(std::size_t n) {
+        stats_.bytes_copied += n;
+        if (buf_.size() + n > buf_.capacity()) stats_.allocs += 1;
+    }
+
     template <typename T>
     void put_le(T v) {
+        note_append(sizeof(T));
         for (std::size_t i = 0; i < sizeof(T); ++i) {
             buf_.push_back(static_cast<std::uint8_t>(v >> (i * 8)));
         }
     }
 
     Bytes buf_;
+    WireStats stats_;
 };
 
 /// Bounds-checked reader.  After any failed extraction `ok()` turns false
@@ -67,6 +96,8 @@ public:
             ok_ = false;
             return {};
         }
+        stats_.bytes_copied += n;
+        if (n > 0) stats_.allocs += 1;  // the out-buffer below
         Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
                   data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
         pos_ += n;
@@ -79,6 +110,7 @@ public:
             ok_ = false;
             return d;
         }
+        stats_.bytes_copied += d.bytes.size();
         std::memcpy(d.bytes.data(), data_.data() + pos_, d.bytes.size());
         pos_ += d.bytes.size();
         return d;
@@ -87,6 +119,9 @@ public:
     [[nodiscard]] bool ok() const noexcept { return ok_; }
     [[nodiscard]] bool exhausted() const noexcept { return pos_ == data_.size(); }
     [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
+
+    /// Bytes extracted into owned buffers/values and allocations performed.
+    [[nodiscard]] WireStats stats() const noexcept { return stats_; }
 
 private:
     template <typename T>
@@ -99,6 +134,7 @@ private:
         for (std::size_t i = 0; i < sizeof(T); ++i) {
             v = static_cast<T>(v | (static_cast<std::uint64_t>(data_[pos_ + i]) << (i * 8)));
         }
+        stats_.bytes_copied += sizeof(T);
         pos_ += sizeof(T);
         return v;
     }
@@ -106,6 +142,7 @@ private:
     BytesView data_;
     std::size_t pos_ = 0;
     bool ok_ = true;
+    WireStats stats_;
 };
 
 }  // namespace rbft::net

@@ -112,6 +112,11 @@ bool Recorder::export_to_dir(const std::string& dir) const {
         if (!trace_file) return false;
         write_trace_json(trace_file);
     }
+    if (profiler_) {
+        std::ofstream profile_file(dir + "/profile.json");
+        if (!profile_file) return false;
+        profiler_->write_profile_json(profile_file);
+    }
     return true;
 }
 

@@ -16,10 +16,12 @@
 
 #include <functional>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "obs/prof.hpp"
 #include "obs/trace.hpp"
 
 namespace rbft::obs {
@@ -38,6 +40,19 @@ public:
     [[nodiscard]] bool tracing() const noexcept { return tracing_; }
     [[nodiscard]] TraceRing& trace() noexcept { return trace_; }
     [[nodiscard]] const TraceRing& trace() const noexcept { return trace_; }
+
+    /// Turns the hot-path profiler on (idempotent).  Must be called before
+    /// components are wired to this recorder: instrumentation sites cache
+    /// the profiler pointer once, exactly like metric handles.
+    void enable_profiling() {
+        if (!profiler_) profiler_ = std::make_unique<prof::Profiler>();
+    }
+
+    /// The run's profiler, or null when profiling is disabled.  Components
+    /// hold this pointer and skip all zone/counter work when it is null.
+    [[nodiscard]] prof::Profiler* profiler() noexcept { return profiler_.get(); }
+    [[nodiscard]] const prof::Profiler* profiler() const noexcept { return profiler_.get(); }
+    [[nodiscard]] bool profiling() const noexcept { return profiler_ != nullptr; }
 
     /// Installs (or clears, with an empty function) a synchronous listener
     /// that sees every event in emission order, independent of the trace
@@ -68,14 +83,16 @@ public:
     void write_metrics_json(std::ostream& out) const;
     void write_trace_json(std::ostream& out) const;
 
-    /// Writes `<dir>/metrics.json` and `<dir>/trace.json` (trace only when
-    /// tracing is enabled).  Returns false if a file could not be opened.
+    /// Writes `<dir>/metrics.json`, `<dir>/trace.json` (when tracing) and
+    /// `<dir>/profile.json` (when profiling).  Returns false if a file could
+    /// not be opened.
     bool export_to_dir(const std::string& dir) const;
 
 private:
     MetricsRegistry metrics_;
     TraceRing trace_{0};  // re-made with real capacity by enable_trace()
     bool tracing_ = false;
+    std::unique_ptr<prof::Profiler> profiler_;  // null = profiling disabled
     std::function<void(const TraceEvent&)> listener_;
 };
 

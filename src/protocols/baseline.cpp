@@ -29,6 +29,7 @@ BaselineNode::BaselineNode(BaselineConfig config, sim::Simulator& simulator,
                                                     costs_, *this);
 
     recorder_ = config_.recorder;
+    profiler_ = recorder_ ? recorder_->profiler() : nullptr;
     if (recorder_) {
         obs::MetricsRegistry& reg = recorder_->metrics();
         const std::uint32_t node = raw(config_.id);
@@ -42,6 +43,7 @@ BaselineNode::BaselineNode(BaselineConfig config, sim::Simulator& simulator,
 
 void BaselineNode::on_message(net::Address from, const net::MessagePtr& m) {
     if (faulty_) return;
+    obs::prof::Scope zone(profiler_, "baseline.on_message", raw(config_.id));
 
     if (m->type() == net::MsgType::kRequest) {
         auto req = std::static_pointer_cast<const bft::RequestMsg>(m);

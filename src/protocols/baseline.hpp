@@ -130,6 +130,7 @@ protected:
 
     // Observability handles (null when no recorder is attached).
     obs::Recorder* recorder_ = nullptr;
+    obs::prof::Profiler* profiler_ = nullptr;
     obs::Counter* ctr_requests_verified_ = nullptr;
     obs::Counter* ctr_requests_invalid_ = nullptr;
     obs::Counter* ctr_requests_shed_ = nullptr;

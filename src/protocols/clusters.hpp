@@ -46,6 +46,7 @@ public:
         }
         if (recorder) {
             simulator_.set_metrics(&recorder->metrics());
+            simulator_.set_profiler(recorder->profiler());
             network_->set_recorder(recorder);
         }
         simulator_.set_logger(logger);

@@ -10,6 +10,7 @@ Cluster::Cluster(ClusterConfig config, ServiceFactory service_factory)
                                               channel, channel);
     if (config_.recorder) {
         simulator_.set_metrics(&config_.recorder->metrics());
+        simulator_.set_profiler(config_.recorder->profiler());
         network_->set_recorder(config_.recorder);
     }
     simulator_.set_logger(config_.logger);

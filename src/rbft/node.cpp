@@ -27,6 +27,7 @@ Node::Node(NodeConfig config, sim::Simulator& simulator, net::Network& network,
     monitor_series_.resize(instances);
 
     recorder_ = config_.recorder;
+    profiler_ = recorder_ ? recorder_->profiler() : nullptr;
     if (recorder_) {
         obs::MetricsRegistry& reg = recorder_->metrics();
         const std::uint32_t node = raw(config_.id);
@@ -163,6 +164,7 @@ void Node::note_peer_cpi(NodeId from, std::uint64_t peer_cpi) {
 void Node::on_message(net::Address from, const net::MessagePtr& m) {
     if (faulty_) return;  // a Byzantine node's behaviour is driven by src/attacks
     if (crashed_) return;  // nobody home: the process is down
+    obs::prof::Scope zone(profiler_, "rbft.on_message", raw(config_.id));
 
     switch (m->type()) {
         case net::MsgType::kRequest:
@@ -376,9 +378,8 @@ void Node::propagation_self(const std::shared_ptr<const bft::RequestMsg>& req, b
     auto prop = std::make_shared<PropagateMsg>();
     prop->request = req;
     prop->sender = config_.id;
-    prop->auth = crypto::make_authenticator(
-        keys_, crypto::Principal::node(config_.id), config_.n,
-        BytesView(req->digest.bytes.data(), req->digest.bytes.size()));
+    prop->auth = crypto::make_authenticator(keys_, crypto::Principal::node(config_.id),
+                                            config_.n, req->digest);
 
     // Generation: one MAC per receiver over the (cached) request digest,
     // plus per-destination send handling.

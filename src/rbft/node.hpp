@@ -329,6 +329,7 @@ private:
 
     // Observability handles (null when no recorder is attached).
     obs::Recorder* recorder_ = nullptr;
+    obs::prof::Profiler* profiler_ = nullptr;
     obs::Counter* ctr_requests_received_ = nullptr;
     obs::Counter* ctr_requests_verified_ = nullptr;
     obs::Counter* ctr_requests_invalid_ = nullptr;

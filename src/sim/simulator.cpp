@@ -2,13 +2,21 @@
 
 #include <utility>
 
+#include "obs/prof.hpp"
+
 namespace rbft::sim {
 
 EventId Simulator::schedule_at(TimePoint t, Action action) {
     const std::uint64_t id = next_id_++;
     if (scheduled_counter_) scheduled_counter_->add();
+    if (prof_scheduled_) prof_scheduled_->add();
     if (t < now_) t = now_;
-    queue_.push(Event{t, next_seq_++, id, std::move(action)});
+    queue_.push_back(Event{t, next_seq_++, id, std::move(action)});
+    std::push_heap(queue_.begin(), queue_.end(), Later{});
+    if (queue_.size() > queue_high_water_) {
+        queue_high_water_ = queue_.size();
+        if (queue_depth_gauge_) queue_depth_gauge_->set(static_cast<double>(queue_high_water_));
+    }
     return EventId{id};
 }
 
@@ -16,22 +24,29 @@ void Simulator::cancel(EventId id) {
     cancelled_.insert(static_cast<std::uint64_t>(id));
 }
 
+void Simulator::set_profiler(obs::prof::Profiler* profiler) {
+    profiler_ = profiler;
+    prof_scheduled_ = profiler ? profiler->counter("sim.events_scheduled") : nullptr;
+    prof_dispatched_ = profiler ? profiler->counter("sim.events_dispatched") : nullptr;
+}
+
 std::uint64_t Simulator::run_until(TimePoint limit) {
     std::uint64_t dispatched = 0;
-    while (!queue_.empty() && queue_.top().at <= limit) {
-        // priority_queue::top is const; move out via const_cast is the
-        // standard idiom here and safe because we pop immediately.
-        Event ev = std::move(const_cast<Event&>(queue_.top()));
-        queue_.pop();
+    while (!queue_.empty() && queue_.front().at <= limit) {
+        Event ev = pop_earliest();
         if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
             cancelled_.erase(it);
             continue;
         }
         now_ = ev.at;
-        ev.action();
+        {
+            obs::prof::Scope zone(profiler_, "sim.dispatch");
+            ev.action();
+        }
         ++dispatched;
         ++dispatched_total_;
         if (dispatched_counter_) dispatched_counter_->add();
+        if (prof_dispatched_) prof_dispatched_->add();
     }
     if (now_ < limit) now_ = limit;
     return dispatched;
@@ -40,17 +55,20 @@ std::uint64_t Simulator::run_until(TimePoint limit) {
 std::uint64_t Simulator::run_all() {
     std::uint64_t dispatched = 0;
     while (!queue_.empty()) {
-        Event ev = std::move(const_cast<Event&>(queue_.top()));
-        queue_.pop();
+        Event ev = pop_earliest();
         if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
             cancelled_.erase(it);
             continue;
         }
         now_ = ev.at;
-        ev.action();
+        {
+            obs::prof::Scope zone(profiler_, "sim.dispatch");
+            ev.action();
+        }
         ++dispatched;
         ++dispatched_total_;
         if (dispatched_counter_) dispatched_counter_->add();
+        if (prof_dispatched_) prof_dispatched_->add();
     }
     return dispatched;
 }

@@ -8,14 +8,18 @@
 // threads.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/det.hpp"
 #include "common/time.hpp"
 #include "obs/metrics.hpp"
+
+namespace rbft::obs::prof {
+class Profiler;
+}
 
 namespace rbft {
 class Logger;
@@ -66,11 +70,23 @@ public:
     [[nodiscard]] std::uint64_t dispatched_total() const noexcept { return dispatched_total_; }
 
     /// Attaches observability: per-dispatch event counting into `registry`
-    /// ("sim.events_dispatched", "sim.events_scheduled").  Null detaches.
+    /// ("sim.events_dispatched", "sim.events_scheduled") plus a
+    /// "sim.queue_depth" high-water gauge.  Null detaches.
     void set_metrics(obs::MetricsRegistry* registry) {
         scheduled_counter_ = registry ? registry->counter("sim.events_scheduled") : nullptr;
         dispatched_counter_ = registry ? registry->counter("sim.events_dispatched") : nullptr;
+        queue_depth_gauge_ = registry ? registry->gauge("sim.queue_depth") : nullptr;
+        if (queue_depth_gauge_) queue_depth_gauge_->set(static_cast<double>(queue_high_water_));
     }
+
+    /// Attaches the hot-path profiler (nullable): wraps every dispatched
+    /// action in a "sim.dispatch" zone and mirrors the schedule/dispatch
+    /// counters into the profile's deterministic block.
+    void set_profiler(obs::prof::Profiler* profiler);
+
+    /// Deepest the pending-event heap has ever been (cancelled events count
+    /// until lazily discarded).
+    [[nodiscard]] std::size_t queue_high_water() const noexcept { return queue_high_water_; }
 
     /// Attaches the run's logger (nullable, like the recorder): components
     /// holding a Simulator& log through it, so concurrent simulations never
@@ -92,14 +108,29 @@ private:
         }
     };
 
+    /// Pops the earliest event out of the heap.  Unlike
+    /// std::priority_queue::top (const, so moving out needs a const_cast),
+    /// an explicit pop_heap legally hands back a mutable slot to move from.
+    [[nodiscard]] Event pop_earliest() {
+        std::pop_heap(queue_.begin(), queue_.end(), Later{});
+        Event ev = std::move(queue_.back());
+        queue_.pop_back();
+        return ev;
+    }
+
     TimePoint now_{};
     std::uint64_t dispatched_total_ = 0;
     Logger* logger_ = nullptr;
     obs::Counter* scheduled_counter_ = nullptr;
     obs::Counter* dispatched_counter_ = nullptr;
+    obs::Gauge* queue_depth_gauge_ = nullptr;
+    obs::prof::Profiler* profiler_ = nullptr;
+    obs::Counter* prof_scheduled_ = nullptr;
+    obs::Counter* prof_dispatched_ = nullptr;
     std::uint64_t next_seq_ = 0;
     std::uint64_t next_id_ = 1;
-    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    std::size_t queue_high_water_ = 0;
+    std::vector<Event> queue_;  // min-heap under Later (push_heap/pop_heap)
     det::set<std::uint64_t> cancelled_;
 };
 

@@ -97,6 +97,7 @@ public:
     /// Builds, signs and sends one request carrying `payload` (application
     /// operations, e.g. the key-value store example).
     RequestId send_payload(Bytes payload) {
+        obs::prof::Scope zone(profiler_, "client.request_build");
         const RequestId rid = next_rid_;
         next_rid_ = next(next_rid_);
 
@@ -105,12 +106,20 @@ public:
         req->rid = rid;
         req->payload = std::move(payload);
         req->exec_cost = behavior_.exec_cost;
-        const Bytes body = req->signed_bytes();
+        net::WireStats wire_stats;
+        const Bytes body = req->signed_bytes(profiler_ ? &wire_stats : nullptr);
+        if (prof_wire_bytes_) {
+            prof_wire_bytes_->add(wire_stats.bytes_copied);
+            prof_wire_allocs_->add(wire_stats.allocs);
+        }
+        // The body digest is computed exactly once per request here and
+        // reused by every downstream authenticator (satellite memoization);
+        // CryptoStats::digests_computed tallies that single hash.
         req->digest = crypto::sha256(BytesView(body.data(), body.size()));
+        keys_.note_digest();
         req->sig = keys_.sign(crypto::Principal::client(id_), BytesView(body.data(), body.size()));
-        req->auth = crypto::make_authenticator(
-            keys_, crypto::Principal::client(id_), n_,
-            BytesView(req->digest.bytes.data(), req->digest.bytes.size()));
+        req->auth = crypto::make_authenticator(keys_, crypto::Principal::client(id_), n_,
+                                               req->digest);
         req->corrupt_mac_mask = behavior_.corrupt_mac_mask;
         req->corrupt_sig = behavior_.corrupt_sig;
 
@@ -164,6 +173,9 @@ public:
         ctr_completed_ = reg ? reg->counter("client.completed") : nullptr;
         completions_out_ = reg ? reg->series("client.completions") : nullptr;
         latencies_out_ = reg ? reg->histogram("client.latency_s") : nullptr;
+        profiler_ = recorder ? recorder->profiler() : nullptr;
+        prof_wire_bytes_ = profiler_ ? profiler_->counter("wire.bytes_copied") : nullptr;
+        prof_wire_allocs_ = profiler_ ? profiler_->counter("wire.allocs") : nullptr;
     }
 
     /// Invoked on each completion with (rid, latency); drives closed-loop
@@ -268,6 +280,9 @@ private:
 
     // Observability handles (null when no recorder is attached).
     obs::Recorder* recorder_ = nullptr;
+    obs::prof::Profiler* profiler_ = nullptr;
+    obs::Counter* prof_wire_bytes_ = nullptr;
+    obs::Counter* prof_wire_allocs_ = nullptr;
     obs::Counter* ctr_sent_ = nullptr;
     obs::Counter* ctr_completed_ = nullptr;
     Series* completions_out_ = nullptr;

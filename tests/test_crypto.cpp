@@ -271,6 +271,53 @@ TEST(Authenticator, WrongSenderFails) {
     }
 }
 
+TEST(Authenticator, DigestOverloadMatchesBytesOverload) {
+    // The memoized fast path (caller holds the body digest) must produce the
+    // exact MAC bytes of the hash-then-MAC path, or mixed senders/receivers
+    // would reject each other.
+    KeyStore ks(9);
+    const Bytes msg = to_bytes("memoize-me");
+    const Digest digest = sha256(BytesView(msg));
+    const auto via_bytes =
+        make_authenticator(ks, Principal::client(ClientId{2}), 4, BytesView(msg));
+    const auto via_digest = make_authenticator(ks, Principal::client(ClientId{2}), 4, digest);
+    EXPECT_EQ(via_bytes, via_digest);
+    for (std::uint32_t i = 0; i < 4; ++i) {
+        EXPECT_TRUE(verify_authenticator(ks, via_digest, NodeId{i}, digest)) << i;
+        EXPECT_TRUE(verify_authenticator(ks, via_bytes, NodeId{i}, BytesView(msg))) << i;
+    }
+}
+
+TEST(KeyStore, CryptoStatsProveDigestMemoization) {
+    KeyStore ks(9);
+    EXPECT_EQ(ks.stats().digests_computed, 0u);
+    EXPECT_EQ(ks.stats().macs_computed, 0u);
+
+    // The client pattern: hash the body once, authenticate it for f+1 = 2
+    // instances via the Digest overload.
+    const Bytes msg = to_bytes("one-digest-per-request");
+    const Digest digest = sha256(BytesView(msg));
+    ks.note_digest();
+    for (int instance = 0; instance < 2; ++instance) {
+        (void)make_authenticator(ks, Principal::client(ClientId{1}), 4, digest);
+    }
+    EXPECT_EQ(ks.stats().digests_computed, 1u);  // not one per instance
+    EXPECT_EQ(ks.stats().macs_computed, 8u);     // 2 authenticators x 4 nodes
+
+    // Pairwise keys derive once per (client, node) pair; the second
+    // authenticator is all cache hits.
+    EXPECT_EQ(ks.stats().keys_derived, 4u);
+    EXPECT_EQ(ks.stats().key_cache_hits, 4u);
+}
+
+TEST(KeyStore, BytesOverloadTalliesOneDigestPerCall) {
+    KeyStore ks(9);
+    const Bytes msg = to_bytes("hash-then-mac");
+    (void)make_authenticator(ks, Principal::node(NodeId{0}), 4, BytesView(msg));
+    (void)make_authenticator(ks, Principal::node(NodeId{0}), 4, BytesView(msg));
+    EXPECT_EQ(ks.stats().digests_computed, 2u);
+}
+
 // ---------------------------------------------------------------------------
 // Cost model: the asymmetries the paper relies on.
 

@@ -20,12 +20,16 @@ namespace {
 struct Export {
     std::string metrics;
     std::string trace;
+    std::string profile;  // deterministic profiler block only (no wall times)
 };
 
 template <typename Scenario, typename Runner>
-Export run_once(Scenario scenario, Runner&& runner) {
+Export run_once(Scenario scenario, Runner&& runner, bool profiling = true) {
     auto recorder = std::make_shared<obs::Recorder>();
     recorder->enable_trace();
+    // Profiling must be on before the runner wires the cluster (components
+    // cache the profiler pointer like metric handles).
+    if (profiling) recorder->enable_profiling();
     scenario.recorder = recorder;
     (void)runner(scenario);
     Export out;
@@ -35,6 +39,11 @@ Export run_once(Scenario scenario, Runner&& runner) {
     std::ostringstream trace;
     recorder->write_trace_json(trace);
     out.trace = trace.str();
+    if (recorder->profiler()) {
+        std::ostringstream profile;
+        recorder->profiler()->write_deterministic_json(profile);
+        out.profile = profile.str();
+    }
     return out;
 }
 
@@ -46,6 +55,9 @@ void expect_byte_identical(const Scenario& scenario, Runner&& runner, const char
     EXPECT_EQ(a.trace, b.trace) << label << ": trace exports diverged for identical seeds";
     EXPECT_EQ(a.metrics, b.metrics)
         << label << ": metrics exports diverged for identical seeds";
+    EXPECT_FALSE(a.profile.empty());
+    EXPECT_EQ(a.profile, b.profile)
+        << label << ": deterministic profile sections diverged for identical seeds";
 }
 
 BaselineScenario short_baseline(Protocol protocol) {
@@ -83,6 +95,23 @@ TEST(SeedDeterminism, RbftTraceAndMetricsAreByteIdentical) {
     scenario.measure = milliseconds(500.0);
     expect_byte_identical(scenario, [](const RbftScenario& s) { return run_rbft(s); },
                           "rbft");
+}
+
+TEST(SeedDeterminism, ProfilingDoesNotPerturbTheSimulation) {
+    // The profiler must be a pure observer: the same seed with profiling on
+    // and off yields byte-identical metrics and trace exports.
+    RbftScenario scenario;
+    scenario.rate = 2000.0;
+    scenario.seed = 20260807;
+    scenario.warmup = milliseconds(300.0);
+    scenario.measure = milliseconds(500.0);
+    auto runner = [](const RbftScenario& s) { return run_rbft(s); };
+    const Export on = run_once(scenario, runner, /*profiling=*/true);
+    const Export off = run_once(scenario, runner, /*profiling=*/false);
+    EXPECT_FALSE(on.profile.empty());
+    EXPECT_TRUE(off.profile.empty());  // disabled mode emits nothing
+    EXPECT_EQ(on.metrics, off.metrics);
+    EXPECT_EQ(on.trace, off.trace);
 }
 
 TEST(SeedDeterminism, DifferentSeedsProduceDifferentTraces) {

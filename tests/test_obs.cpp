@@ -1,12 +1,16 @@
 // Observability layer: metric registry correctness, flight-recorder ring
-// semantics, deterministic JSON export across same-seed runs, and the
-// monitoring-verdict / instance-change events emitted under attack.
+// semantics, deterministic JSON export across same-seed runs, the hot-path
+// profiler (zones, counters, report round-trip), and the monitoring-verdict
+// / instance-change events emitted under attack.
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
 
 #include "exp/runners.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof.hpp"
+#include "obs/prof_report.hpp"
 #include "obs/recorder.hpp"
 #include "obs/trace.hpp"
 #include "rbft/cluster.hpp"
@@ -84,6 +88,150 @@ TEST(Trace, DisabledRecorderDropsEvents) {
     recorder.enable_trace(8);
     recorder.event({TimePoint{2}, EventType::kCommitted, 0, 0, 2, 0, 0.0});
     EXPECT_EQ(recorder.trace().recorded(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Hot-path profiler.
+
+TEST(Prof, NullScopeIsANoOp) {
+    prof::Scope scope(nullptr, "never-recorded");
+    RBFT_PROF_ZONE(static_cast<prof::Profiler*>(nullptr), "also-never-recorded");
+    SUCCEED();  // disabled sites reduce to one pointer test
+}
+
+TEST(Prof, ZonesNestIntoHierarchicalPaths) {
+    prof::Profiler p;
+    {
+        prof::Scope a(&p, "a");
+        EXPECT_EQ(p.open_depth(), 1u);
+        { prof::Scope b(&p, "b", 3); }
+        { prof::Scope b(&p, "b", 3); }
+    }
+    { prof::Scope solo(&p, "b"); }  // top-level "b": distinct from "a;b"
+    EXPECT_EQ(p.open_depth(), 0u);
+
+    const auto zones = p.zones_by_path();
+    ASSERT_EQ(zones.size(), 3u);
+    EXPECT_EQ(zones.at("a").calls, 1u);
+    EXPECT_EQ(zones.at("a;b").calls, 2u);
+    EXPECT_EQ(zones.at("b").calls, 1u);
+    // Parent total covers its children; self never exceeds total.
+    EXPECT_GE(zones.at("a").wall_total_ns, zones.at("a;b").wall_total_ns);
+    EXPECT_LE(zones.at("a").wall_self_ns, zones.at("a").wall_total_ns);
+}
+
+TEST(Prof, CountersAggregateAcrossScopes) {
+    prof::Profiler p;
+    p.counter("x", 0)->add(3);
+    p.counter("x", 1)->add(4);
+    p.counter("x")->add(10);
+    EXPECT_EQ(p.counter("x", 0), p.counter("x", 0));  // stable handles
+    EXPECT_EQ(p.counter_value("x", 0), 3u);
+    EXPECT_EQ(p.counter_value("x", 1), 4u);
+    EXPECT_EQ(p.counter_sum("x"), 17u);
+    EXPECT_EQ(p.counter_value("missing"), 0u);
+}
+
+TEST(Prof, DeterministicJsonIsStableAndExcludesWallTime) {
+    auto build = [] {
+        prof::Profiler p;
+        {
+            prof::Scope a(&p, "sim.dispatch");
+            prof::Scope b(&p, "net.deliver", 2);
+        }
+        p.counter("wire.bytes_copied")->add(128);
+        std::ostringstream os;
+        p.write_deterministic_json(os);
+        return os.str();
+    };
+    const std::string first = build();
+    EXPECT_EQ(first, build());  // wall-clock must not leak into this block
+    EXPECT_NE(first.find("\"zones\""), std::string::npos);
+    EXPECT_NE(first.find("sim.dispatch;net.deliver"), std::string::npos);
+    EXPECT_EQ(first.find("_ns"), std::string::npos);
+}
+
+TEST(Prof, ProfileJsonRoundTripsThroughReportParser) {
+    prof::Profiler p;
+    {
+        prof::Scope a(&p, "alpha");
+        prof::Scope b(&p, "beta", 2, 1);
+    }
+    p.counter("c.x", 1)->add(5);
+    p.counter("c.x", 2)->add(7);
+
+    std::ostringstream os;
+    p.write_profile_json(os);
+    std::istringstream in(os.str());
+    prof::Report parsed;
+    ASSERT_TRUE(prof::parse_profile_json(in, parsed));
+
+    const prof::Report direct = prof::report_from(p);
+    const auto parsed_zones = parsed.zones_by_path();
+    const auto direct_zones = direct.zones_by_path();
+    ASSERT_EQ(parsed_zones.size(), direct_zones.size());
+    for (std::size_t i = 0; i < parsed_zones.size(); ++i) {
+        EXPECT_EQ(parsed_zones[i].path, direct_zones[i].path);
+        EXPECT_EQ(parsed_zones[i].calls, direct_zones[i].calls);
+        EXPECT_EQ(parsed_zones[i].self_ns, direct_zones[i].self_ns);
+        EXPECT_EQ(parsed_zones[i].total_ns, direct_zones[i].total_ns);
+    }
+    ASSERT_EQ(parsed.counters.size(), direct.counters.size());
+    std::uint64_t parsed_sum = 0;
+    for (const auto& c : parsed.counters) parsed_sum += c.value;
+    EXPECT_EQ(parsed_sum, 12u);
+
+    std::ostringstream hotspots;
+    prof::render_hotspots(hotspots, parsed, 10);
+    EXPECT_NE(hotspots.str().find("alpha;beta"), std::string::npos);
+    std::ostringstream collapsed;
+    prof::render_collapsed(collapsed, parsed);
+    EXPECT_NE(collapsed.str().find("alpha;beta "), std::string::npos);
+}
+
+TEST(Prof, ProfiledRunCoversCoreZonesAndDisabledRunHasNoProfiler) {
+    exp::RbftScenario scenario;
+    scenario.seed = 11;
+    scenario.warmup = seconds(0.5);
+    scenario.measure = seconds(1.0);
+    scenario.recorder = std::make_shared<Recorder>();
+    scenario.recorder->enable_profiling();
+    const exp::ScenarioOutput out = exp::run_rbft(scenario);
+    const prof::Profiler* p = out.recorder->profiler();
+    ASSERT_NE(p, nullptr);
+
+    const auto zones = p->zones_by_path();
+    auto has_zone_suffix = [&](const std::string& suffix) {
+        for (const auto& [path, agg] : zones) {
+            if (path.size() >= suffix.size() &&
+                path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0 &&
+                agg.calls > 0) {
+                return true;
+            }
+        }
+        return false;
+    };
+    EXPECT_GT(zones.at("sim.dispatch").calls, 0u);
+    EXPECT_TRUE(has_zone_suffix("net.send"));
+    EXPECT_TRUE(has_zone_suffix("net.deliver"));
+    EXPECT_TRUE(has_zone_suffix("rbft.on_message"));
+    EXPECT_TRUE(has_zone_suffix("bft.on_message"));
+    EXPECT_TRUE(has_zone_suffix("client.request_build"));
+    EXPECT_GT(p->counter_value("sim.events_dispatched"), 0u);
+    EXPECT_GT(p->counter_sum("net.messages_sent"), 0u);
+    EXPECT_GT(p->counter_sum("wire.bytes_copied"), 0u);
+    EXPECT_GT(p->counter_sum("crypto.digests_computed"), 0u);
+    EXPECT_GT(p->counter_sum("crypto.macs_computed"), 0u);
+    // The memo works: body digests are far rarer than MACs.
+    EXPECT_LT(p->counter_sum("crypto.digests_computed"),
+              p->counter_sum("crypto.macs_computed"));
+
+    // Same scenario without enable_profiling(): no profiler anywhere.
+    exp::RbftScenario off = scenario;
+    off.recorder = std::make_shared<Recorder>();
+    const exp::ScenarioOutput out_off = exp::run_rbft(off);
+    EXPECT_EQ(out_off.recorder->profiler(), nullptr);
+    EXPECT_FALSE(out_off.recorder->profiling());
 }
 
 /// One instrumented RBFT run; returns its metrics + trace JSON.

@@ -112,11 +112,12 @@ TEST(RunSpec, CarriesSeedAndSimTimeMetadata) {
 struct SweepExport {
     std::vector<std::string> metrics;
     std::vector<std::string> traces;
+    std::vector<std::string> profiles;  // deterministic profiler blocks
 };
 
 /// Builds the mixed sweep (two RBFT seeds + two baseline protocols), each
-/// run with its own pre-attached tracing recorder, executes it at `jobs`,
-/// and returns every run's exports in submission order.
+/// run with its own pre-attached tracing+profiling recorder, executes it at
+/// `jobs`, and returns every run's exports in submission order.
 SweepExport run_sweep(unsigned jobs) {
     std::vector<std::shared_ptr<obs::Recorder>> recorders;
     std::vector<RunSpec> specs;
@@ -124,6 +125,7 @@ SweepExport run_sweep(unsigned jobs) {
     auto add = [&](auto scenario, const char* label) {
         auto recorder = std::make_shared<obs::Recorder>();
         recorder->enable_trace();
+        recorder->enable_profiling();  // per-run profiler: pool must stay race-free
         scenario.recorder = recorder;
         recorders.push_back(recorder);
         specs.push_back(RunSpec{label, std::move(scenario)});
@@ -159,6 +161,9 @@ SweepExport run_sweep(unsigned jobs) {
         std::ostringstream trace;
         recorder->write_trace_json(trace);
         out.traces.push_back(trace.str());
+        std::ostringstream profile;
+        recorder->profiler()->write_deterministic_json(profile);
+        out.profiles.push_back(profile.str());
     }
     return out;
 }
@@ -173,6 +178,10 @@ TEST(RunSpecs, ParallelSweepIsByteIdenticalToSerial) {
             << "run " << i << ": trace diverged between --jobs 1 and --jobs 8";
         EXPECT_EQ(serial.metrics[i], parallel.metrics[i])
             << "run " << i << ": metrics diverged between --jobs 1 and --jobs 8";
+        EXPECT_FALSE(serial.profiles[i].empty()) << "run " << i;
+        EXPECT_EQ(serial.profiles[i], parallel.profiles[i])
+            << "run " << i
+            << ": deterministic profile diverged between --jobs 1 and --jobs 8";
     }
     // Sanity: the byte-compare is not trivially passing on identical runs.
     EXPECT_NE(serial.traces[0], serial.traces[1]);

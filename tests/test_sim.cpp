@@ -4,6 +4,8 @@
 
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/prof.hpp"
 #include "sim/cpu.hpp"
 #include "sim/simulator.hpp"
 #include "sim/timer.hpp"
@@ -103,6 +105,49 @@ TEST(Simulator, DispatchCountsReported) {
     for (int i = 0; i < 7; ++i) sim.schedule_after(milliseconds(1.0 + i), [] {});
     EXPECT_EQ(sim.run_until(TimePoint{3'500'000}), 3u);
     EXPECT_EQ(sim.run_all(), 4u);
+}
+
+TEST(Simulator, QueueHighWaterTracksDeepestHeap) {
+    Simulator sim;
+    EXPECT_EQ(sim.queue_high_water(), 0u);
+    for (int i = 0; i < 5; ++i) sim.schedule_after(milliseconds(1.0 + i), [] {});
+    EXPECT_EQ(sim.pending(), 5u);
+    EXPECT_EQ(sim.queue_high_water(), 5u);
+    sim.run_all();
+    EXPECT_EQ(sim.pending(), 0u);
+    EXPECT_EQ(sim.queue_high_water(), 5u);  // the high-water survives the drain
+}
+
+TEST(Simulator, QueueDepthGaugeSeededAndUpdated) {
+    Simulator sim;
+    for (int i = 0; i < 3; ++i) sim.schedule_after(milliseconds(1.0 + i), [] {});
+    // Attaching metrics late seeds the gauge with the existing high water.
+    obs::MetricsRegistry reg;
+    sim.set_metrics(&reg);
+    EXPECT_DOUBLE_EQ(reg.gauge("sim.queue_depth")->value(), 3.0);
+    for (int i = 0; i < 4; ++i) sim.schedule_after(milliseconds(10.0 + i), [] {});
+    EXPECT_DOUBLE_EQ(reg.gauge("sim.queue_depth")->value(), 7.0);
+    sim.run_all();
+    EXPECT_DOUBLE_EQ(reg.gauge("sim.queue_depth")->value(), 7.0);
+}
+
+TEST(Simulator, ProfilerCountsScheduleAndDispatch) {
+    Simulator sim;
+    obs::prof::Profiler profiler;
+    sim.set_profiler(&profiler);
+    int nested = 0;
+    sim.schedule_after(milliseconds(1.0), [&] {
+        // Dispatch wraps the action in the "sim.dispatch" zone.
+        nested = static_cast<int>(profiler.open_depth());
+        sim.schedule_after(milliseconds(1.0), [] {});
+    });
+    sim.run_all();
+    EXPECT_EQ(nested, 1);
+    EXPECT_EQ(profiler.counter_value("sim.events_scheduled"), 2u);
+    EXPECT_EQ(profiler.counter_value("sim.events_dispatched"), 2u);
+    const auto zones = profiler.zones_by_path();
+    ASSERT_EQ(zones.count("sim.dispatch"), 1u);
+    EXPECT_EQ(zones.at("sim.dispatch").calls, 2u);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Perf regression gate over BENCH_*.json artifacts (schema rbft-bench-v2).
+
+Usage:
+  bench_diff.py BASELINE.json CURRENT.json [--metric NAME] [--threshold PCT]
+  bench_diff.py --self-test
+
+Compares the wall-derived "perf" rates of every point present in both
+artifacts.  The gated metric (default: events_per_sec) must not regress by
+more than --threshold percent (default: 20) on any point; other shared perf
+metrics are reported informationally.  Points or metrics present on only
+one side are skipped with a note — renaming a point never fails the gate,
+removing the gated metric from every point does (an empty comparison would
+otherwise pass vacuously).
+
+Exit status: 0 no regression, 1 regression (or nothing comparable),
+2 usage/IO/schema error.  Stdlib only — runs on any python3.
+"""
+
+import json
+import sys
+
+
+def load_points(path):
+    """point name -> perf dict, for every point carrying a perf block."""
+    with open(path, "rb") as f:
+        doc = json.load(f)
+    if doc.get("schema") not in ("rbft-bench-v1", "rbft-bench-v2"):
+        raise ValueError(f"{path}: unexpected schema {doc.get('schema')!r}")
+    out = {}
+    for point in doc.get("points", []):
+        perf = point.get("perf")
+        if isinstance(perf, dict) and perf:
+            out[point.get("name", "?")] = perf
+    return out
+
+
+def diff(baseline, current, metric, threshold_pct, out=sys.stdout):
+    """Returns the exit code; prints one line per comparison to `out`."""
+    allowed = 1.0 - threshold_pct / 100.0
+    gated = 0
+    failures = []
+    for name in sorted(set(baseline) & set(current)):
+        base_perf, cur_perf = baseline[name], current[name]
+        for key in sorted(set(base_perf) & set(cur_perf)):
+            base, cur = base_perf[key], cur_perf[key]
+            ratio = cur / base if base > 0 else float("inf")
+            is_gate = key == metric
+            verdict = "ok"
+            if is_gate:
+                gated += 1
+                if ratio < allowed:
+                    verdict = "REGRESSION"
+                    failures.append((name, key, base, cur))
+            else:
+                verdict = "info"
+            print(f"{name} {key}: {base:.0f} -> {cur:.0f} "
+                  f"({100.0 * (ratio - 1.0):+.1f}%) [{verdict}]", file=out)
+        for key in sorted(set(base_perf) ^ set(cur_perf)):
+            print(f"{name} {key}: only in "
+                  f"{'baseline' if key in base_perf else 'current'}, skipped",
+                  file=out)
+    for name in sorted(set(baseline) ^ set(current)):
+        print(f"{name}: only in "
+              f"{'baseline' if name in baseline else 'current'}, skipped", file=out)
+
+    if gated == 0:
+        print(f"bench_diff: no point in both artifacts carries perf.{metric}; "
+              "nothing to gate", file=out)
+        return 1
+    if failures:
+        for name, key, base, cur in failures:
+            print(f"bench_diff: {name} {key} regressed beyond "
+                  f"{threshold_pct:.0f}%: {base:.0f} -> {cur:.0f}", file=out)
+        return 1
+    print(f"bench_diff: {gated} gated comparison(s) within {threshold_pct:.0f}%",
+          file=out)
+    return 0
+
+
+def self_test():
+    """Exercises the pass, fail, and nothing-comparable paths in-process."""
+    import io
+
+    def artifact(events, extra_points=()):
+        doc = {"schema": "rbft-bench-v2", "bench": "x", "title": "x", "jobs": 1,
+               "points": [{"name": "simcore/event_queue_churn",
+                           "counters": {}, "runs": [], "rows": [],
+                           "perf": {"events_per_sec": events,
+                                    "roundtrips_per_sec": 100.0}}]}
+        doc["points"].extend(extra_points)
+        return {p["name"]: p["perf"] for p in doc["points"] if p.get("perf")}
+
+    checks = [
+        # 10% drop: within the 20% budget.
+        ("10% drop passes", artifact(1e6), artifact(0.9e6), 0),
+        # 25% drop: planted regression must fail.
+        ("25% drop fails", artifact(1e6), artifact(0.75e6), 1),
+        # Improvement passes.
+        ("improvement passes", artifact(1e6), artifact(2e6), 0),
+        # Gated metric missing everywhere: fail, not a vacuous pass.
+        ("no gated metric fails",
+         {"p": {"other": 1.0}}, {"p": {"other": 1.0}}, 1),
+        # Renamed point is skipped; the surviving one still gates.
+        ("renamed point skipped",
+         artifact(1e6, [{"name": "old", "perf": {"events_per_sec": 1.0}}]),
+         artifact(1e6, [{"name": "new", "perf": {"events_per_sec": 1.0}}]), 0),
+    ]
+    failed = 0
+    for label, baseline, current, expected in checks:
+        buf = io.StringIO()
+        got = diff(baseline, current, "events_per_sec", 20.0, out=buf)
+        status = "ok" if got == expected else "FAIL"
+        if got != expected:
+            failed += 1
+            sys.stderr.write(buf.getvalue())
+        print(f"self-test: {label}: exit {got} (want {expected}) [{status}]")
+    return 1 if failed else 0
+
+
+def main(argv):
+    args = argv[1:]
+    if args == ["--self-test"]:
+        return self_test()
+    metric = "events_per_sec"
+    threshold = 20.0
+    paths = []
+    i = 0
+    while i < len(args):
+        if args[i] == "--metric" and i + 1 < len(args):
+            metric = args[i + 1]
+            i += 2
+        elif args[i] == "--threshold" and i + 1 < len(args):
+            try:
+                threshold = float(args[i + 1])
+            except ValueError:
+                print(f"bench_diff: bad threshold {args[i + 1]!r}", file=sys.stderr)
+                return 2
+            i += 2
+        elif args[i].startswith("-"):
+            print(__doc__.strip().splitlines()[2].strip(), file=sys.stderr)
+            print(__doc__.strip().splitlines()[3].strip(), file=sys.stderr)
+            return 2
+        else:
+            paths.append(args[i])
+            i += 1
+    if len(paths) != 2:
+        print(__doc__.strip().splitlines()[2].strip(), file=sys.stderr)
+        return 2
+    try:
+        baseline = load_points(paths[0])
+        current = load_points(paths[1])
+    except (OSError, json.JSONDecodeError, ValueError) as e:
+        print(f"bench_diff: {e}", file=sys.stderr)
+        return 2
+    return diff(baseline, current, metric, threshold)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

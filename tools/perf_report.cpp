@@ -1,0 +1,76 @@
+// perf_report: render hot-path profiles (profile.json, written by a run
+// with RBFT_OBS_DIR set and profiling enabled).
+//
+// Usage:
+//   perf_report <profile.json> [--top N] [--collapse] [--counters]
+//
+// Default output is the top-N hotspot table (self/total wall milliseconds,
+// ranked by self time) followed by the deterministic counters.  --collapse
+// instead emits collapsed-stack text ("a;b;c <self_ns>" per line), the
+// input format of flamegraph.pl / inferno / speedscope.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "obs/prof_report.hpp"
+
+namespace {
+
+int usage() {
+    std::cerr << "usage: perf_report <profile.json> [--top N] [--collapse] [--counters]\n";
+    return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string path;
+    std::size_t top_n = 15;
+    bool collapse = false;
+    bool counters_only = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--top" && i + 1 < argc) {
+            top_n = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+        } else if (arg == "--collapse") {
+            collapse = true;
+        } else if (arg == "--counters") {
+            counters_only = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage();
+        } else if (path.empty()) {
+            path = arg;
+        } else {
+            return usage();
+        }
+    }
+    if (path.empty()) return usage();
+
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "perf_report: cannot open " << path << "\n";
+        return 2;
+    }
+    rbft::obs::prof::Report report;
+    if (!rbft::obs::prof::parse_profile_json(in, report)) {
+        std::cerr << "perf_report: no profile data found in " << path << "\n";
+        return 1;
+    }
+
+    if (collapse) {
+        rbft::obs::prof::render_collapsed(std::cout, report);
+        return 0;
+    }
+    if (counters_only) {
+        rbft::obs::prof::render_counters(std::cout, report);
+        return 0;
+    }
+    std::cout << "hotspots (" << path << "):\n";
+    rbft::obs::prof::render_hotspots(std::cout, report, top_n);
+    if (!report.counters.empty()) {
+        std::cout << "\ndeterministic counters:\n";
+        rbft::obs::prof::render_counters(std::cout, report);
+    }
+    return 0;
+}
